@@ -1,0 +1,61 @@
+// encryption mounts the simulated AES-GCM eCryptfs (§7.7) with each cipher
+// engine, writes and reads real encrypted data (verifying integrity), and
+// prints the modeled throughput curves that reproduce Fig 14's shape.
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lakego/internal/ecryptfs"
+)
+
+func main() {
+	data := make([]byte, 4<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+
+	fmt.Println("write+read 4 MiB through each engine (real AES-GCM, modeled time):")
+	for _, e := range ecryptfs.Engines() {
+		fs, err := ecryptfs.NewFS(e, nil, 64<<10, "example-passphrase")
+		if err != nil {
+			log.Fatal(err)
+		}
+		wT, err := fs.Write("data.bin", data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, rT, err := fs.Read("data.bin")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			log.Fatal("round trip corrupted data")
+		}
+		fmt.Printf("  %-12s write %8v   read %8v\n", e, wT, rT)
+	}
+
+	// Authenticated encryption catches tampering with data at rest.
+	fs, _ := ecryptfs.NewFS(ecryptfs.EngineLAKE, nil, 64<<10, "example-passphrase")
+	fs.Write("tamper.bin", data[:1<<20])
+	fs.Tamper("tamper.bin", 3, 17)
+	if _, _, err := fs.Read("tamper.bin"); errors.Is(err, ecryptfs.ErrCorrupt) {
+		fmt.Println("\ntampered ciphertext detected and rejected (AES-GCM authentication)")
+	} else {
+		log.Fatal("tampering went undetected")
+	}
+
+	m := ecryptfs.DefaultModel()
+	fmt.Println("\nread throughput by block size (MB/s), Fig 14's curves:")
+	fmt.Printf("%-8s %8s %8s %8s %12s\n", "block", "CPU", "AES-NI", "LAKE", "GPU+AES-NI")
+	for _, s := range ecryptfs.Fig14BlockSizes() {
+		fmt.Printf("%-8d %8.0f %8.0f %8.0f %12.0f\n", s/1024,
+			m.Throughput(ecryptfs.EngineCPU, s, false)/1e6,
+			m.Throughput(ecryptfs.EngineAESNI, s, false)/1e6,
+			m.Throughput(ecryptfs.EngineLAKE, s, false)/1e6,
+			m.Throughput(ecryptfs.EngineGPUAESNI, s, false)/1e6)
+	}
+	fmt.Println("\n(block column in KiB; LAKE passes AES-NI above 16 KiB and approaches ~840 MB/s)")
+}

@@ -1,0 +1,83 @@
+// Quickstart: boot a LAKE runtime and drive the full §4.1 workflow from
+// "kernel space" — allocate copiable memory in lakeShm, remote CUDA driver
+// calls through lakeLib over the Netlink channel to lakeD, launch a device
+// kernel, and read the result back zero-copy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lake "lakego"
+	"lakego/internal/cuda"
+)
+
+func main() {
+	rt, err := lake.New(lake.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	rt.RegisterKernel(lake.VecAddKernel())
+	lib := rt.Lib()
+
+	// API-remoted operations (§4.1): every call below serializes a command,
+	// crosses the boundary, executes in lakeD against the CUDA API, and
+	// returns its result the same way.
+	ctx, r := lib.CuCtxCreate("quickstart")
+	must(r, "cuCtxCreate")
+	mod, r := lib.CuModuleLoad("kernels.cubin")
+	must(r, "cuModuleLoad")
+	fn, r := lib.CuModuleGetFunction(mod, "vecadd")
+	must(r, "cuModuleGetFunction")
+
+	// Copiable memory allocations (§4.1): buffers that will move to/from
+	// the accelerator live in lakeShm, shared by both domains.
+	const n = 8
+	av := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	bv := []float32{10, 20, 30, 40, 50, 60, 70, 80}
+	a, err := rt.Region().Alloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := rt.Region().Alloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := rt.Region().Alloc(4 * n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cuda.PutFloat32s(a.Bytes(), av)
+	cuda.PutFloat32s(b.Bytes(), bv)
+
+	da, r := lib.CuMemAlloc(4 * n)
+	must(r, "cuMemAlloc a")
+	db, r := lib.CuMemAlloc(4 * n)
+	must(r, "cuMemAlloc b")
+	dc, r := lib.CuMemAlloc(4 * n)
+	must(r, "cuMemAlloc c")
+
+	must(lib.CuMemcpyHtoDShm(da, a, 4*n), "HtoD a")
+	must(lib.CuMemcpyHtoDShm(db, b, 4*n), "HtoD b")
+	must(lib.CuLaunchKernel(ctx, fn, []uint64{uint64(da), uint64(db), uint64(dc), n}), "launch vecadd")
+	must(lib.CuMemcpyDtoHShm(c, dc, 4*n), "DtoH c")
+
+	cv, err := cuda.Float32s(c.Bytes(), n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("a + b =", cv)
+
+	st := rt.Stats()
+	fmt.Printf("remoted %d calls over the %s channel in %v of modeled channel time\n",
+		st.RemotedCalls, lake.Netlink, st.ChannelTime)
+	fmt.Printf("device ran %d kernel(s); virtual time elapsed %v\n",
+		st.KernelLaunches, st.VirtualTime)
+}
+
+func must(r lake.Result, what string) {
+	if r != lake.Success {
+		log.Fatalf("%s: %s", what, r)
+	}
+}

@@ -1,0 +1,3 @@
+module lakego
+
+go 1.22

@@ -1,0 +1,143 @@
+package contention
+
+import (
+	"testing"
+	"time"
+
+	"lakego/internal/core"
+)
+
+func boot(t *testing.T) *core.Runtime {
+	t.Helper()
+	rt, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestFig1Phases(t *testing.T) {
+	pts := Fig1(boot(t))
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range pts {
+		switch {
+		case p.T < Fig1T0:
+			if p.PagesPerSec != 0 {
+				t.Fatalf("throughput %v before app start", p.PagesPerSec)
+			}
+		case p.T < Fig1T1:
+			if p.PagesPerSec < 1.8e7 {
+				t.Fatalf("uncontended throughput %v too low at %v", p.PagesPerSec, p.T)
+			}
+			if p.KernelDemand != 0 {
+				t.Fatalf("kernel demand %v before T1", p.KernelDemand)
+			}
+		case p.T < Fig1T2:
+			if p.KernelDemand <= 0 || p.KernelDemand >= 0.6 {
+				t.Fatalf("one-classifier demand = %v", p.KernelDemand)
+			}
+		default:
+			if p.KernelDemand < 0.6 {
+				t.Fatalf("two-classifier demand = %v", p.KernelDemand)
+			}
+		}
+	}
+}
+
+// The paper reports degradation "by up to 68%".
+func TestFig1Degradation(t *testing.T) {
+	pts := Fig1(boot(t))
+	d := Fig1Degradation(pts)
+	if d < 0.60 || d > 0.75 {
+		t.Fatalf("worst-case degradation = %.2f, want ~0.68", d)
+	}
+}
+
+func TestFig1DegradationEmpty(t *testing.T) {
+	if got := Fig1Degradation(nil); got != 0 {
+		t.Fatalf("degradation of empty series = %v", got)
+	}
+}
+
+func TestFig13AdaptiveBehaviour(t *testing.T) {
+	pts := Fig13(boot(t))
+	s := Summarize(pts)
+	if !s.GPUBefore {
+		t.Fatal("predictor never used the GPU before contention")
+	}
+	if s.CPUFraction < 0.8 {
+		t.Fatalf("predictor stayed on GPU during contention (CPU fraction %.2f)", s.CPUFraction)
+	}
+	if !s.HashingStable {
+		t.Fatal("user hashing throughput degraded despite the policy")
+	}
+	if !s.ReclaimedGPU {
+		t.Fatal("predictor never reclaimed the GPU after the user process exited")
+	}
+	if s.ReclaimedBy > 5*time.Second {
+		t.Fatalf("GPU reclaimed after %v, want within the moving-average decay", s.ReclaimedBy)
+	}
+}
+
+func TestFig13PredictorThroughputLevels(t *testing.T) {
+	pts := Fig13(boot(t))
+	for _, p := range pts {
+		if p.OnGPU && p.PredictorNorm != 1.0 {
+			t.Fatalf("GPU step with norm %v", p.PredictorNorm)
+		}
+		if !p.OnGPU && p.PredictorNorm != predictorCPUNorm {
+			t.Fatalf("CPU step with norm %v", p.PredictorNorm)
+		}
+	}
+}
+
+func TestMultiGPUOverflowKeepsPredictorFast(t *testing.T) {
+	rt := boot(t)
+	pts := Fig13MultiGPU(rt)
+	s := SummarizeMultiGPU(pts)
+	if !s.HashingStable {
+		t.Fatal("user hashing degraded despite GPU1 overflow")
+	}
+	// During contention the predictor overflows to GPU1 (after the
+	// moving-average detection lag) instead of dropping to CPU speed.
+	if s.ContendedFullSpeed < 0.8 {
+		t.Fatalf("predictor full-speed for only %.0f%% of the contended window",
+			s.ContendedFullSpeed*100)
+	}
+	if s.GPU1Frac == 0 {
+		t.Fatal("second GPU never used")
+	}
+	// And it should beat the single-GPU policy's average throughput.
+	rt2 := boot(t)
+	single := Summarize(Fig13(rt2))
+	if single.CPUFraction < 0.5 {
+		t.Fatalf("single-GPU baseline unexpectedly avoided the CPU (%.2f)", single.CPUFraction)
+	}
+	if s.AvgPredictorNorm < 0.95 {
+		t.Fatalf("multi-GPU average predictor norm = %.2f, want ~1.0", s.AvgPredictorNorm)
+	}
+}
+
+func TestMultiGPUTargetStrings(t *testing.T) {
+	if TargetGPU0.String() != "GPU0" || TargetGPU1.String() != "GPU1" || TargetCPU.String() != "CPU" {
+		t.Fatal("target strings wrong")
+	}
+}
+
+func TestFig1MovingAverageSmooths(t *testing.T) {
+	pts := Fig1(boot(t))
+	// The moving average lags the raw series across the T1 step change.
+	var rawAtT1, avgAtT1 float64
+	for _, p := range pts {
+		if p.T == Fig1T1 {
+			rawAtT1, avgAtT1 = p.PagesPerSec, p.MovingAvg
+		}
+	}
+	if avgAtT1 <= rawAtT1 {
+		t.Fatalf("moving average %.2e should lag above the raw drop %.2e at T1",
+			avgAtT1, rawAtT1)
+	}
+}

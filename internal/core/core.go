@@ -1,0 +1,191 @@
+// Package core assembles LAKE (§4, Fig 2): the kernel-side API provider
+// lakeLib, the bulk-data channel lakeShm, the user-side daemon lakeD that
+// realizes accelerator APIs, the eBPF-style execution policies, and the
+// in-kernel feature registry — one runtime a kernel subsystem boots once and
+// programs against.
+//
+// Everything beneath the runtime is simulated hardware on a shared virtual
+// clock (see DESIGN.md for the substitution map), but the components and the
+// paths between them are the real ones: commands really serialize and cross
+// a transport, lakeShm buffers really are shared memory, and policies really
+// sample (remoted) NVML utilization.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lakego/internal/boundary"
+	"lakego/internal/cuda"
+	"lakego/internal/features"
+	"lakego/internal/gpu"
+	"lakego/internal/policy"
+	"lakego/internal/remoting"
+	"lakego/internal/shm"
+	"lakego/internal/vtime"
+)
+
+// Config parameterizes a LAKE runtime.
+type Config struct {
+	// GPU is the accelerator model; zero value means gpu.DefaultSpec().
+	GPU gpu.Spec
+	// ShmBytes sizes the lakeShm region (default shm.DefaultRegionSize,
+	// the artifact's cma=128M).
+	ShmBytes int64
+	// Channel selects the kernel<->user command channel (default Netlink,
+	// the paper's choice).
+	Channel boundary.Kind
+	// QueueDepth is the command channel's buffering.
+	QueueDepth int
+}
+
+// DefaultConfig mirrors the paper's deployment: Netlink command channel,
+// 128 MiB CMA-backed shared region, A100-class GPU.
+func DefaultConfig() Config {
+	return Config{
+		GPU:        gpu.DefaultSpec(),
+		ShmBytes:   shm.DefaultRegionSize,
+		Channel:    boundary.Netlink,
+		QueueDepth: 64,
+	}
+}
+
+// Runtime is one booted LAKE instance.
+type Runtime struct {
+	clock     *vtime.Clock
+	device    *gpu.Device
+	api       *cuda.API
+	region    *shm.Region
+	transport *boundary.Transport
+	daemon    *remoting.Daemon
+	lib       *remoting.Lib
+	store     *features.Store
+}
+
+// New boots a runtime: creates the device, maps the shared region into both
+// domains, starts lakeD and wires lakeLib to it.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.GPU.MemoryBytes == 0 {
+		cfg.GPU = gpu.DefaultSpec()
+	}
+	if cfg.ShmBytes <= 0 {
+		cfg.ShmBytes = shm.DefaultRegionSize
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	clock := vtime.New()
+	device := gpu.New(cfg.GPU, clock)
+	api := cuda.NewAPI(device)
+	region, err := shm.NewRegion(cfg.ShmBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tr := boundary.NewTransport(cfg.Channel, clock, cfg.QueueDepth)
+	daemon := remoting.NewDaemon(api, region, tr)
+	lib := remoting.NewLib(tr, daemon, region)
+	rt := &Runtime{
+		clock:     clock,
+		device:    device,
+		api:       api,
+		region:    region,
+		transport: tr,
+		daemon:    daemon,
+		lib:       lib,
+		store:     features.NewStore(),
+	}
+	if r := lib.CuInit(); r != cuda.Success {
+		return nil, fmt.Errorf("core: remote cuInit failed: %s", r)
+	}
+	return rt, nil
+}
+
+// Clock returns the runtime's virtual clock.
+func (r *Runtime) Clock() *vtime.Clock { return r.clock }
+
+// Device returns the accelerator model (for experiment instrumentation;
+// kernel-side code should only touch it through Lib).
+func (r *Runtime) Device() *gpu.Device { return r.device }
+
+// Lib returns lakeLib, the kernel-side accelerator API stubs.
+func (r *Runtime) Lib() *remoting.Lib { return r.lib }
+
+// Daemon returns lakeD, for registering high-level APIs (§4.4).
+func (r *Runtime) Daemon() *remoting.Daemon { return r.daemon }
+
+// Region returns the lakeShm shared region.
+func (r *Runtime) Region() *shm.Region { return r.region }
+
+// Features returns the in-kernel feature registry store (§5).
+func (r *Runtime) Features() *features.Store { return r.store }
+
+// RegisterKernel installs a device kernel into the user-domain vendor
+// library so remoted cuModuleGetFunction can resolve it.
+func (r *Runtime) RegisterKernel(k *cuda.Kernel) { r.api.RegisterKernel(k) }
+
+// NewAdaptivePolicy builds a Fig 3 policy whose utilization source is the
+// LAKE-remoted NVML query, exactly as the paper's pseudocode does.
+func (r *Runtime) NewAdaptivePolicy(cfg policy.AdaptiveConfig) *policy.Adaptive {
+	return policy.NewAdaptive(cfg, r.clock, func() int {
+		g, _, res := r.lib.NvmlGetUtilization()
+		if res != cuda.Success {
+			return 100 // treat a failed query as contended: stay on CPU
+		}
+		return g
+	})
+}
+
+// InstallVMPolicy verifies a bytecode policy against the Fig 3 helper set
+// (batch size from the returned policy itself, utilization from remoted
+// NVML) and returns it ready for Decide calls.
+func (r *Runtime) InstallVMPolicy(prog policy.Program, window int) (*policy.VMPolicy, error) {
+	var vp *policy.VMPolicy
+	helpers := policy.Figure3Helpers(
+		func() int64 {
+			if vp == nil {
+				return 0
+			}
+			return vp.BatchSize()
+		},
+		func() int64 {
+			g, _, res := r.lib.NvmlGetUtilization()
+			if res != cuda.Success {
+				return 100
+			}
+			return int64(g)
+		},
+		window,
+	)
+	p, err := policy.NewVMPolicy(prog, helpers)
+	if err != nil {
+		return nil, err
+	}
+	vp = p
+	return vp, nil
+}
+
+// Stats summarizes runtime activity for experiment reports.
+type Stats struct {
+	RemotedCalls   int64
+	ChannelTime    time.Duration
+	DaemonHandled  int64
+	KernelLaunches int64
+	ShmUsed        int64
+	VirtualTime    time.Duration
+}
+
+// Stats snapshots the runtime counters.
+func (r *Runtime) Stats() Stats {
+	calls, channel := r.lib.Stats()
+	return Stats{
+		RemotedCalls:   calls,
+		ChannelTime:    channel,
+		DaemonHandled:  r.daemon.Handled(),
+		KernelLaunches: r.device.Launches(),
+		ShmUsed:        r.region.Used(),
+		VirtualTime:    r.clock.Now(),
+	}
+}
+
+// Close shuts the runtime down.
+func (r *Runtime) Close() { r.transport.Close() }

@@ -1,0 +1,300 @@
+// Package cuda implements the CUDA-driver-style API that lakeD realizes in
+// user space and lakeLib remotes into kernel space (§4: "LAKE uses API
+// remoting to provide kernel space applications with the vendor-supported
+// accelerator interfaces (e.g. CUDA APIs)").
+//
+// The surface mirrors the driver API the paper's prototype exposes —
+// contexts, device memory, host<->device copies, module/function lookup and
+// kernel launch — implemented against the gpu.Device model. Kernels are
+// registered Go functions: workloads register e.g. an "mlp_forward" kernel,
+// and launching it runs the real computation against device memory while the
+// device model charges launch overhead plus a FLOP-derived compute time.
+package cuda
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lakego/internal/gpu"
+)
+
+// Kernel is a device function loadable via ModuleGetFunction and runnable
+// via LaunchKernel. Args follow the CUDA convention of untyped 64-bit
+// values: device pointers and scalars, interpretation is the kernel's.
+type Kernel struct {
+	// Name is the symbol ModuleGetFunction resolves.
+	Name string
+	// Flops returns the kernel's compute budget for a launch with args;
+	// the device model converts it to execution time.
+	Flops func(args []uint64) float64
+	// Body performs the actual computation against device memory.
+	// It may be nil for timing-only kernels.
+	Body func(dev *gpu.Device, args []uint64) error
+}
+
+// API is one in-process realization of the driver API, bound to a device.
+// lakeD owns one; tests may use it directly. All methods are safe for
+// concurrent use.
+type API struct {
+	dev *gpu.Device
+
+	mu         sync.Mutex
+	inited     bool
+	nextCtx    uint64
+	ctxs       map[uint64]string // handle -> client tag for utilization attribution
+	nextFn     uint64
+	fns        map[uint64]*Kernel
+	kernels    map[string]*Kernel
+	modules    map[string]uint64 // module path -> handle (flat namespace)
+	nextMod    uint64
+	modNames   map[uint64]string
+	nextStream uint64
+	streams    map[uint64]*gpu.Stream
+}
+
+// NewAPI returns an API bound to dev with no kernels registered.
+func NewAPI(dev *gpu.Device) *API {
+	return &API{
+		dev:        dev,
+		nextCtx:    1,
+		ctxs:       make(map[uint64]string),
+		nextFn:     1,
+		fns:        make(map[uint64]*Kernel),
+		kernels:    make(map[string]*Kernel),
+		modules:    make(map[string]uint64),
+		nextMod:    1,
+		modNames:   make(map[uint64]string),
+		nextStream: 1,
+		streams:    make(map[uint64]*gpu.Stream),
+	}
+}
+
+// Device returns the underlying device model.
+func (a *API) Device() *gpu.Device { return a.dev }
+
+// RegisterKernel installs a kernel so ModuleGetFunction can resolve it.
+// Registering a nil kernel or one without a name panics: kernels are wired
+// at program start, not at runtime.
+func (a *API) RegisterKernel(k *Kernel) {
+	if k == nil || k.Name == "" {
+		panic("cuda: RegisterKernel requires a named kernel")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.kernels[k.Name] = k
+}
+
+// Init initializes the driver. Every other call requires it, mirroring
+// cuInit.
+func (a *API) Init() Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inited = true
+	return Success
+}
+
+func (a *API) checkInit() Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inited {
+		return ErrNotInitialized
+	}
+	return Success
+}
+
+// DeviceGetCount mirrors cuDeviceGetCount: this model exposes one device.
+func (a *API) DeviceGetCount() (int, Result) {
+	if r := a.checkInit(); r != Success {
+		return 0, r
+	}
+	return 1, Success
+}
+
+// DeviceGetName mirrors cuDeviceGetName.
+func (a *API) DeviceGetName() (string, Result) {
+	if r := a.checkInit(); r != Success {
+		return "", r
+	}
+	return a.dev.Spec().Name, Success
+}
+
+// CtxCreate creates a context tagged with client, which attributes the
+// context's device occupancy in utilization queries (the signal contention
+// policies consume).
+func (a *API) CtxCreate(client string) (uint64, Result) {
+	if r := a.checkInit(); r != Success {
+		return 0, r
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := a.nextCtx
+	a.nextCtx++
+	if client == "" {
+		client = fmt.Sprintf("ctx-%d", h)
+	}
+	a.ctxs[h] = client
+	return h, Success
+}
+
+// CtxDestroy destroys a context.
+func (a *API) CtxDestroy(h uint64) Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.ctxs[h]; !ok {
+		return ErrInvalidContext
+	}
+	delete(a.ctxs, h)
+	return Success
+}
+
+// MemAlloc mirrors cuMemAlloc.
+func (a *API) MemAlloc(size int64) (gpu.DevPtr, Result) {
+	if r := a.checkInit(); r != Success {
+		return 0, r
+	}
+	ptr, err := a.dev.Alloc(size)
+	if err != nil {
+		if size <= 0 {
+			return 0, ErrInvalidValue
+		}
+		return 0, ErrOutOfMemory
+	}
+	return ptr, Success
+}
+
+// MemGetInfo mirrors cuMemGetInfo: free and total device memory. Policies
+// use it to gauge memory pressure before staging large batches.
+func (a *API) MemGetInfo() (free, total int64, r Result) {
+	if r := a.checkInit(); r != Success {
+		return 0, 0, r
+	}
+	total = a.dev.Spec().MemoryBytes
+	return total - a.dev.MemUsed(), total, Success
+}
+
+// MemFree mirrors cuMemFree.
+func (a *API) MemFree(ptr gpu.DevPtr) Result {
+	if err := a.dev.Free(ptr); err != nil {
+		return ErrInvalidValue
+	}
+	return Success
+}
+
+// MemcpyHtoD copies src into device memory at dst, charging PCIe transfer
+// time on the virtual clock.
+func (a *API) MemcpyHtoD(dst gpu.DevPtr, src []byte) Result {
+	buf, err := a.dev.Bytes(dst)
+	if err != nil {
+		return ErrInvalidValue
+	}
+	if len(src) > len(buf) {
+		return ErrInvalidValue
+	}
+	a.dev.Clock().Advance(a.dev.TransferTime(int64(len(src))))
+	copy(buf, src)
+	return Success
+}
+
+// MemcpyDtoH copies device memory at src into dst, charging transfer time.
+func (a *API) MemcpyDtoH(dst []byte, src gpu.DevPtr) Result {
+	buf, err := a.dev.Bytes(src)
+	if err != nil {
+		return ErrInvalidValue
+	}
+	if len(dst) > len(buf) {
+		return ErrInvalidValue
+	}
+	a.dev.Clock().Advance(a.dev.TransferTime(int64(len(dst))))
+	copy(dst, buf[:len(dst)])
+	return Success
+}
+
+// ModuleLoad mirrors cuModuleLoad. Kernels live in a flat namespace, so any
+// path succeeds and resolves the same symbols; the handle exists to keep the
+// call sequence faithful to driver-API programs.
+func (a *API) ModuleLoad(path string) (uint64, Result) {
+	if r := a.checkInit(); r != Success {
+		return 0, r
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h, ok := a.modules[path]; ok {
+		return h, Success
+	}
+	h := a.nextMod
+	a.nextMod++
+	a.modules[path] = h
+	a.modNames[h] = path
+	return h, Success
+}
+
+// ModuleGetFunction resolves a kernel by name within a loaded module.
+func (a *API) ModuleGetFunction(module uint64, name string) (uint64, Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.modNames[module]; !ok {
+		return 0, ErrInvalidHandle
+	}
+	k, ok := a.kernels[name]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	h := a.nextFn
+	a.nextFn++
+	a.fns[h] = k
+	return h, Success
+}
+
+// LaunchKernel launches fn synchronously on behalf of ctx's client,
+// advancing the clock by launch overhead + modeled compute time (plus any
+// queueing delay behind other device users), then running the kernel body.
+func (a *API) LaunchKernel(ctx, fn uint64, args []uint64) Result {
+	a.mu.Lock()
+	client, okCtx := a.ctxs[ctx]
+	k, okFn := a.fns[fn]
+	a.mu.Unlock()
+	if !okCtx {
+		return ErrInvalidContext
+	}
+	if !okFn {
+		return ErrInvalidHandle
+	}
+	cost := a.dev.Spec().LaunchOverhead
+	if k.Flops != nil {
+		cost += a.dev.ComputeTime(k.Flops(args))
+	}
+	var launchErr error
+	a.dev.Execute(client, cost, func() {
+		if k.Body != nil {
+			launchErr = k.Body(a.dev, args)
+		}
+	})
+	if launchErr != nil {
+		return ErrLaunchFailed
+	}
+	return Success
+}
+
+// CtxSynchronize mirrors cuCtxSynchronize. Execution in this model is
+// synchronous, so the device is already drained; the call advances the
+// clock to the device's busy horizon for programs that overlap work.
+func (a *API) CtxSynchronize(ctx uint64) Result {
+	a.mu.Lock()
+	_, ok := a.ctxs[ctx]
+	a.mu.Unlock()
+	if !ok {
+		return ErrInvalidContext
+	}
+	a.dev.Clock().AdvanceTo(a.dev.BusyUntil())
+	return Success
+}
+
+// ChargeTransfer advances the clock as if n bytes crossed PCIe without
+// touching memory. High-level remoted APIs (the TensorFlow-style calls of
+// §4.4) use it to model their internal data movement.
+func (a *API) ChargeTransfer(n int64) time.Duration {
+	d := a.dev.TransferTime(n)
+	a.dev.Clock().Advance(d)
+	return d
+}

@@ -1,0 +1,49 @@
+package cuda
+
+import "fmt"
+
+// Result is a CUDA-driver-style status code. The remoting layer ships these
+// across the kernel/user boundary verbatim, so kernel-space callers do their
+// own error checking exactly as §4.1 of the paper describes ("Errors caused
+// when executing an API are forwarded to the application").
+type Result int32
+
+// Driver API result codes (the subset LAKE's workloads exercise).
+const (
+	Success           Result = 0
+	ErrInvalidValue   Result = 1
+	ErrOutOfMemory    Result = 2
+	ErrNotInitialized Result = 3
+	ErrInvalidContext Result = 201
+	ErrInvalidHandle  Result = 400
+	ErrNotFound       Result = 500
+	ErrLaunchFailed   Result = 719
+	ErrUnknown        Result = 999
+)
+
+var resultNames = map[Result]string{
+	Success:           "CUDA_SUCCESS",
+	ErrInvalidValue:   "CUDA_ERROR_INVALID_VALUE",
+	ErrOutOfMemory:    "CUDA_ERROR_OUT_OF_MEMORY",
+	ErrNotInitialized: "CUDA_ERROR_NOT_INITIALIZED",
+	ErrInvalidContext: "CUDA_ERROR_INVALID_CONTEXT",
+	ErrInvalidHandle:  "CUDA_ERROR_INVALID_HANDLE",
+	ErrNotFound:       "CUDA_ERROR_NOT_FOUND",
+	ErrLaunchFailed:   "CUDA_ERROR_LAUNCH_FAILED",
+	ErrUnknown:        "CUDA_ERROR_UNKNOWN",
+}
+
+func (r Result) String() string {
+	if s, ok := resultNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("CUDA_ERROR(%d)", int32(r))
+}
+
+// Err converts a Result to a Go error (nil for Success).
+func (r Result) Err() error {
+	if r == Success {
+		return nil
+	}
+	return fmt.Errorf("cuda: %s", r)
+}

@@ -1,0 +1,120 @@
+package cuda
+
+import (
+	"lakego/internal/gpu"
+)
+
+// Asynchronous driver API surface: streams let kernel-space callers overlap
+// data movement with execution, the mechanism behind the evaluation's
+// "LAKE" (async) vs "LAKE (sync.)" split. Mirrors cuStreamCreate /
+// cuMemcpyHtoDAsync / cuLaunchKernel-on-stream / cuStreamSynchronize.
+
+// StreamCreate creates a stream owned by ctx's client.
+func (a *API) StreamCreate(ctx uint64) (uint64, Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	client, ok := a.ctxs[ctx]
+	if !ok {
+		return 0, ErrInvalidContext
+	}
+	h := a.nextStream
+	a.nextStream++
+	a.streams[h] = a.dev.NewStream(client)
+	return h, Success
+}
+
+// StreamDestroy releases a stream handle (pending work completes on its
+// timeline regardless, as in CUDA).
+func (a *API) StreamDestroy(h uint64) Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.streams[h]; !ok {
+		return ErrInvalidHandle
+	}
+	delete(a.streams, h)
+	return Success
+}
+
+func (a *API) stream(h uint64) (*gpu.Stream, Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.streams[h]
+	if !ok {
+		return nil, ErrInvalidHandle
+	}
+	return s, Success
+}
+
+// MemcpyHtoDAsync enqueues a host-to-device copy on the stream: the bytes
+// move now (functional effect), the time is charged on the stream timeline.
+func (a *API) MemcpyHtoDAsync(dst gpu.DevPtr, src []byte, stream uint64) Result {
+	s, r := a.stream(stream)
+	if r != Success {
+		return r
+	}
+	buf, err := a.dev.Bytes(dst)
+	if err != nil || len(src) > len(buf) {
+		return ErrInvalidValue
+	}
+	s.EnqueueTransfer(int64(len(src)), func() { copy(buf, src) })
+	return Success
+}
+
+// MemcpyDtoHAsync enqueues a device-to-host copy on the stream. As with
+// real CUDA, the destination must not be read before synchronizing.
+func (a *API) MemcpyDtoHAsync(dst []byte, src gpu.DevPtr, stream uint64) Result {
+	s, r := a.stream(stream)
+	if r != Success {
+		return r
+	}
+	buf, err := a.dev.Bytes(src)
+	if err != nil || len(dst) > len(buf) {
+		return ErrInvalidValue
+	}
+	s.EnqueueTransfer(int64(len(dst)), func() { copy(dst, buf[:len(dst)]) })
+	return Success
+}
+
+// LaunchKernelAsync enqueues a kernel on the stream instead of executing
+// synchronously.
+func (a *API) LaunchKernelAsync(ctx, fn, stream uint64, args []uint64) Result {
+	a.mu.Lock()
+	_, okCtx := a.ctxs[ctx]
+	k, okFn := a.fns[fn]
+	s, okStream := a.streams[stream]
+	a.mu.Unlock()
+	if !okCtx {
+		return ErrInvalidContext
+	}
+	if !okFn {
+		return ErrInvalidHandle
+	}
+	if !okStream {
+		return ErrInvalidHandle
+	}
+	var flops float64
+	if k.Flops != nil {
+		flops = k.Flops(args)
+	}
+	var launchErr error
+	s.EnqueueCompute(flops, func() {
+		if k.Body != nil {
+			launchErr = k.Body(a.dev, args)
+		}
+	})
+	if launchErr != nil {
+		return ErrLaunchFailed
+	}
+	return Success
+}
+
+// StreamSynchronize drains the stream, advancing the virtual clock to its
+// completion horizon.
+func (a *API) StreamSynchronize(h uint64) Result {
+	s, r := a.stream(h)
+	if r != Success {
+		return r
+	}
+	s.Synchronize()
+	return Success
+}

@@ -1,0 +1,155 @@
+package cuda
+
+import (
+	"testing"
+	"time"
+
+	"lakego/internal/gpu"
+	"lakego/internal/vtime"
+)
+
+func asyncAPI(t *testing.T) (*API, uint64, *vtime.Clock) {
+	t.Helper()
+	clk := vtime.New()
+	a := NewAPI(gpu.New(gpu.DefaultSpec(), clk))
+	a.RegisterKernel(VecAddKernel())
+	a.Init()
+	ctx, r := a.CtxCreate("async")
+	if r != Success {
+		t.Fatal(r)
+	}
+	return a, ctx, clk
+}
+
+func TestStreamCreateDestroy(t *testing.T) {
+	a, ctx, _ := asyncAPI(t)
+	s, r := a.StreamCreate(ctx)
+	if r != Success {
+		t.Fatal(r)
+	}
+	if _, r := a.StreamCreate(777); r != ErrInvalidContext {
+		t.Fatalf("bad ctx = %v", r)
+	}
+	if r := a.StreamDestroy(s); r != Success {
+		t.Fatal(r)
+	}
+	if r := a.StreamDestroy(s); r != ErrInvalidHandle {
+		t.Fatalf("double destroy = %v", r)
+	}
+	if r := a.StreamSynchronize(s); r != ErrInvalidHandle {
+		t.Fatalf("sync dead stream = %v", r)
+	}
+}
+
+func TestAsyncCopyAndLaunchDirect(t *testing.T) {
+	a, ctx, clk := asyncAPI(t)
+	s, _ := a.StreamCreate(ctx)
+	mod, _ := a.ModuleLoad("m")
+	fn, _ := a.ModuleGetFunction(mod, "vecadd")
+
+	const n = 16
+	src := make([]byte, 4*n)
+	PutFloat32s(src, make([]float32, n)) // zeros: 0+0=0
+	da, _ := a.MemAlloc(4 * n)
+	dc, _ := a.MemAlloc(4 * n)
+
+	if r := a.MemcpyHtoDAsync(da, src, s); r != Success {
+		t.Fatal(r)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("async copy advanced clock to %v", clk.Now())
+	}
+	if r := a.LaunchKernelAsync(ctx, fn, s, []uint64{uint64(da), uint64(da), uint64(dc), n}); r != Success {
+		t.Fatal(r)
+	}
+	dst := make([]byte, 4*n)
+	if r := a.MemcpyDtoHAsync(dst, dc, s); r != Success {
+		t.Fatal(r)
+	}
+	if r := a.StreamSynchronize(s); r != Success {
+		t.Fatal(r)
+	}
+	if clk.Now() < 2*a.Device().TransferTime(4*n) {
+		t.Fatalf("sync advanced only to %v", clk.Now())
+	}
+	got, _ := Float32s(dst, n)
+	for _, v := range got {
+		if v != 0 {
+			t.Fatalf("vecadd of zeros = %v", got)
+		}
+	}
+}
+
+func TestAsyncErrorPathsDirect(t *testing.T) {
+	a, ctx, _ := asyncAPI(t)
+	s, _ := a.StreamCreate(ctx)
+	dp, _ := a.MemAlloc(8)
+	if r := a.MemcpyHtoDAsync(dp, make([]byte, 64), s); r != ErrInvalidValue {
+		t.Fatalf("oversized async HtoD = %v", r)
+	}
+	if r := a.MemcpyHtoDAsync(gpu.DevPtr(0xbad), make([]byte, 8), s); r != ErrInvalidValue {
+		t.Fatalf("bad ptr = %v", r)
+	}
+	if r := a.MemcpyDtoHAsync(make([]byte, 64), dp, s); r != ErrInvalidValue {
+		t.Fatalf("oversized async DtoH = %v", r)
+	}
+	if r := a.MemcpyDtoHAsync(make([]byte, 8), dp, 999); r != ErrInvalidHandle {
+		t.Fatalf("bad stream = %v", r)
+	}
+	mod, _ := a.ModuleLoad("m")
+	fn, _ := a.ModuleGetFunction(mod, "vecadd")
+	if r := a.LaunchKernelAsync(999, fn, s, nil); r != ErrInvalidContext {
+		t.Fatalf("bad ctx = %v", r)
+	}
+	if r := a.LaunchKernelAsync(ctx, 999, s, nil); r != ErrInvalidHandle {
+		t.Fatalf("bad fn = %v", r)
+	}
+	if r := a.LaunchKernelAsync(ctx, fn, 999, nil); r != ErrInvalidHandle {
+		t.Fatalf("bad stream launch = %v", r)
+	}
+	// A kernel body error surfaces as launch failed even async.
+	if r := a.LaunchKernelAsync(ctx, fn, s, []uint64{1}); r != ErrLaunchFailed {
+		t.Fatalf("bad args = %v", r)
+	}
+}
+
+func TestChargeTransfer(t *testing.T) {
+	a, _, clk := asyncAPI(t)
+	d := a.ChargeTransfer(12 << 20)
+	if clk.Now() != d || d < 900*time.Microsecond {
+		t.Fatalf("ChargeTransfer = %v, clock %v", d, clk.Now())
+	}
+}
+
+func TestDeviceGetNameBeforeInit(t *testing.T) {
+	a := NewAPI(gpu.New(gpu.DefaultSpec(), vtime.New()))
+	if _, r := a.DeviceGetName(); r != ErrNotInitialized {
+		t.Fatalf("name before init = %v", r)
+	}
+	if _, r := a.MemAlloc(0); r != ErrNotInitialized {
+		t.Fatalf("alloc before init = %v", r)
+	}
+	a.Init()
+	if _, r := a.MemAlloc(-4); r != ErrInvalidValue {
+		t.Fatalf("negative alloc = %v", r)
+	}
+	spec := gpu.DefaultSpec()
+	spec.MemoryBytes = 16
+	small := NewAPI(gpu.New(spec, vtime.New()))
+	small.Init()
+	if _, r := small.MemAlloc(1 << 20); r != ErrOutOfMemory {
+		t.Fatalf("oversized alloc = %v", r)
+	}
+}
+
+func TestMemGetInfoDirect(t *testing.T) {
+	a := NewAPI(gpu.New(gpu.DefaultSpec(), vtime.New()))
+	if _, _, r := a.MemGetInfo(); r != ErrNotInitialized {
+		t.Fatalf("before init = %v", r)
+	}
+	a.Init()
+	free, total, r := a.MemGetInfo()
+	if r != Success || free != total {
+		t.Fatalf("fresh device free=%d total=%d", free, total)
+	}
+}

@@ -1,0 +1,310 @@
+package ecryptfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs, err := NewFS(EngineCPU, nil, 4096, "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 10*4096+123) // non-block-aligned tail
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := fs.Write("a.dat", data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := fs.Read("a.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted data")
+	}
+}
+
+func TestDataAtRestIsEncrypted(t *testing.T) {
+	fs, _ := NewFS(EngineCPU, nil, 4096, "secret")
+	plain := bytes.Repeat([]byte("SECRET42"), 1024)
+	fs.Write("b.dat", plain)
+	for _, block := range fs.lower["b.dat"] {
+		if bytes.Contains(block, []byte("SECRET42")) {
+			t.Fatal("plaintext visible in lower store")
+		}
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	fs, _ := NewFS(EngineAESNI, nil, 4096, "secret")
+	fs.Write("c.dat", make([]byte, 3*4096))
+	if err := fs.Tamper("c.dat", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Read("c.dat"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered read err = %v, want ErrCorrupt", err)
+	}
+	if err := fs.Tamper("missing", 0, 0); err == nil {
+		t.Fatal("tamper on missing file succeeded")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs, _ := NewFS(EngineCPU, nil, 4096, "k")
+	if _, _, err := fs.Read("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestNewFSValidation(t *testing.T) {
+	if _, err := NewFS(EngineCPU, nil, 64, "k"); err == nil {
+		t.Fatal("tiny block size accepted")
+	}
+}
+
+func TestDifferentKeysCannotRead(t *testing.T) {
+	fs1, _ := NewFS(EngineCPU, nil, 4096, "key-one")
+	fs2, _ := NewFS(EngineCPU, nil, 4096, "key-two")
+	fs1.Write("x", []byte("hello world"))
+	fs2.lower["x"] = fs1.lower["x"]
+	fs2.sizes["x"] = fs1.sizes["x"]
+	if _, _, err := fs2.Read("x"); err == nil {
+		t.Fatal("wrong key decrypted data")
+	}
+}
+
+// §7.7 calibration targets.
+func TestFig14Targets(t *testing.T) {
+	m := DefaultModel()
+	mb := func(v float64) float64 { return v / 1e6 }
+
+	// CPU path is flat at ~142/136 MB/s.
+	for _, s := range Fig14BlockSizes() {
+		if r := mb(m.Throughput(EngineCPU, s, false)); r < 140 || r > 145 {
+			t.Fatalf("CPU read @%d = %.0f MB/s, want ~142", s, r)
+		}
+		if w := mb(m.Throughput(EngineCPU, s, true)); w < 134 || w > 139 {
+			t.Fatalf("CPU write @%d = %.0f MB/s, want ~136", s, w)
+		}
+	}
+	// AES-NI peaks near 670/560.
+	if r := mb(m.Throughput(EngineAESNI, 4<<20, false)); r < 640 || r > 675 {
+		t.Fatalf("AES-NI peak read = %.0f, want ~670", r)
+	}
+	if w := mb(m.Throughput(EngineAESNI, 4<<20, true)); w < 540 || w > 565 {
+		t.Fatalf("AES-NI peak write = %.0f, want ~560", w)
+	}
+	// LAKE reaches ~840 MB/s reading and ~836 writing at large blocks.
+	if r := mb(m.Throughput(EngineLAKE, 2<<20, false)); r < 800 || r > 870 {
+		t.Fatalf("LAKE read @2M = %.0f, want ~840", r)
+	}
+	if w := mb(m.Throughput(EngineLAKE, 4<<20, true)); w < 800 || w > 870 {
+		t.Fatalf("LAKE write @4M = %.0f, want ~836", w)
+	}
+	// 6x over CPU reading (§7.7: 840 vs 142).
+	ratio := m.Throughput(EngineLAKE, 2<<20, false) / m.Throughput(EngineCPU, 2<<20, false)
+	if ratio < 5.5 || ratio > 6.5 {
+		t.Fatalf("LAKE/CPU read ratio = %.2f, want ~6", ratio)
+	}
+}
+
+// Crossover points: LAKE passes AES-NI above 16K reads and above 128K
+// writes (Table 3's "16/128KB" row).
+func TestFig14Crossovers(t *testing.T) {
+	m := DefaultModel()
+	readCross, writeCross := 0, 0
+	for _, s := range Fig14BlockSizes() {
+		if readCross == 0 && m.Throughput(EngineLAKE, s, false) > m.Throughput(EngineAESNI, s, false) {
+			readCross = s
+		}
+		if writeCross == 0 && m.Throughput(EngineLAKE, s, true) > m.Throughput(EngineAESNI, s, true) {
+			writeCross = s
+		}
+	}
+	if readCross != 16<<10 {
+		t.Fatalf("read crossover = %d, want 16K", readCross)
+	}
+	if writeCross != 256<<10 {
+		t.Fatalf("write crossover = %d, want 256K (first size above 128K)", writeCross)
+	}
+}
+
+func TestComboGains(t *testing.T) {
+	m := DefaultModel()
+	s := 1 << 20
+	read := m.Throughput(EngineGPUAESNI, s, false) / m.Throughput(EngineLAKE, s, false)
+	write := m.Throughput(EngineGPUAESNI, s, true) / m.Throughput(EngineLAKE, s, true)
+	if read < 1.25 || read > 1.35 {
+		t.Fatalf("combo read gain = %.2f, want ~1.31", read)
+	}
+	if write < 1.18 || write > 1.26 {
+		t.Fatalf("combo write gain = %.2f, want ~1.22", write)
+	}
+}
+
+func TestModeledTimesScaleWithEngine(t *testing.T) {
+	data := make([]byte, 1<<20)
+	var cpuT, lakeT time.Duration
+	for _, e := range []Engine{EngineCPU, EngineLAKE} {
+		fs, _ := NewFS(e, nil, 2<<20, "k")
+		fs.Write("f", data)
+		_, d, err := fs.Read("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == EngineCPU {
+			cpuT = d
+		} else {
+			lakeT = d
+		}
+	}
+	if lakeT >= cpuT {
+		t.Fatalf("LAKE read time %v not < CPU %v", lakeT, cpuT)
+	}
+}
+
+// §7.8 utilization averages: CPU 56%, AES-NI 24%, LAKE ~20% combined.
+func TestFig15UtilizationAverages(t *testing.T) {
+	m := DefaultModel()
+	avg := func(e Engine) (cpu, api, gpu float64, dur time.Duration) {
+		pts := UtilizationTrace(m, e, 2<<30, 2<<20, 18*time.Second)
+		n := 0
+		for _, p := range pts {
+			if p.KernelCPU == 0 && p.UserAPI == 0 && p.GPU == 0 {
+				continue
+			}
+			cpu += float64(p.KernelCPU)
+			api += float64(p.UserAPI)
+			gpu += float64(p.GPU)
+			n++
+			if p.T > dur {
+				dur = p.T
+			}
+		}
+		if n > 0 {
+			cpu, api, gpu = cpu/float64(n), api/float64(n), gpu/float64(n)
+		}
+		return
+	}
+	cpuU, _, _, cpuDur := avg(EngineCPU)
+	if cpuU < 50 || cpuU > 62 {
+		t.Fatalf("CPU engine kernel util = %.0f, want ~56", cpuU)
+	}
+	aesU, _, _, aesDur := avg(EngineAESNI)
+	if aesU < 20 || aesU > 28 {
+		t.Fatalf("AES-NI util = %.0f, want ~24", aesU)
+	}
+	lakeCPU, lakeAPI, lakeGPU, lakeDur := avg(EngineLAKE)
+	if combined := lakeCPU + lakeAPI; combined < 16 || combined > 24 {
+		t.Fatalf("LAKE combined CPU util = %.0f, want ~20", combined)
+	}
+	if lakeGPU < 30 {
+		t.Fatalf("LAKE GPU util = %.0f, want busy device", lakeGPU)
+	}
+	// Faster engines finish sooner: LAKE < AES-NI < CPU durations.
+	if !(lakeDur < aesDur && aesDur < cpuDur) {
+		t.Fatalf("durations not ordered: lake=%v aesni=%v cpu=%v", lakeDur, aesDur, cpuDur)
+	}
+}
+
+// Property: round trip holds for arbitrary contents and block sizes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte, bsRaw uint8) bool {
+		bs := 512 << (bsRaw % 4)
+		fs, err := NewFS(EngineLAKE, nil, bs, "quick")
+		if err != nil {
+			return false
+		}
+		if _, err := fs.Write("f", data); err != nil {
+			return false
+		}
+		got, _, err := fs.Read("f")
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAtPartial(t *testing.T) {
+	fs, _ := NewFS(EngineLAKE, nil, 4096, "k")
+	data := make([]byte, 5*4096+100)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	fs.Write("p", data)
+	cases := []struct{ off, n int64 }{
+		{0, 10}, {4090, 20}, {4096, 4096}, {5 * 4096, 100}, {100, 0},
+		{int64(len(data)) - 1, 1}, {0, int64(len(data))},
+	}
+	for _, c := range cases {
+		got, d, err := fs.ReadAt("p", c.off, c.n)
+		if err != nil {
+			t.Fatalf("ReadAt(%d,%d): %v", c.off, c.n, err)
+		}
+		want := data[c.off : c.off+c.n]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ReadAt(%d,%d) wrong data", c.off, c.n)
+		}
+		if c.n > 0 && d <= 0 {
+			t.Fatalf("ReadAt(%d,%d) charged no time", c.off, c.n)
+		}
+	}
+	// Reads past EOF truncate; negative offsets fail.
+	if got, _, err := fs.ReadAt("p", int64(len(data))-5, 100); err != nil || len(got) != 5 {
+		t.Fatalf("EOF-truncating read = %d bytes, %v", len(got), err)
+	}
+	if _, _, err := fs.ReadAt("p", -1, 5); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, _, err := fs.ReadAt("p", int64(len(data))+1, 1); err == nil {
+		t.Fatal("offset past EOF accepted")
+	}
+	if _, _, err := fs.ReadAt("ghost", 0, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadAtChargesOnlyTouchedBlocks(t *testing.T) {
+	fs, _ := NewFS(EngineCPU, nil, 4096, "k")
+	data := make([]byte, 64*4096)
+	fs.Write("big", data)
+	_, small, _ := fs.ReadAt("big", 0, 10)      // 1 block
+	_, large, _ := fs.ReadAt("big", 0, 32*4096) // 32 blocks
+	if large < 20*small {
+		t.Fatalf("32-block read (%v) not ~32x a 1-block read (%v)", large, small)
+	}
+}
+
+func TestRemoveAndSize(t *testing.T) {
+	fs, _ := NewFS(EngineCPU, nil, 4096, "k")
+	fs.Write("a", make([]byte, 123))
+	if n, err := fs.Size("a"); err != nil || n != 123 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if fs.Files() != 1 {
+		t.Fatalf("Files = %d", fs.Files())
+	}
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	if _, err := fs.Size("a"); err == nil {
+		t.Fatal("size of removed file succeeded")
+	}
+	if fs.Files() != 0 {
+		t.Fatalf("Files = %d after remove", fs.Files())
+	}
+}

@@ -1,0 +1,83 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6-§7). Each experiment builds its own LAKE runtime, runs the
+// workload, and renders the same rows/series the paper reports; cmd/lakebench
+// and the repository's benchmark suite are thin wrappers around this package.
+//
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records
+// paper-versus-measured values produced by these functions.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lakego/internal/core"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run produces the printable table/series.
+	Run func() (string, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// IDs lists registered experiments in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup returns the experiment for id.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// Run executes one experiment by id.
+func Run(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.Run()
+}
+
+// RunAll executes every experiment, concatenating outputs.
+func RunAll() (string, error) {
+	var b strings.Builder
+	for _, id := range IDs() {
+		out, err := Run(id)
+		if err != nil {
+			return b.String(), fmt.Errorf("%s: %w", id, err)
+		}
+		b.WriteString(out)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// newRuntime boots a default LAKE runtime for one experiment.
+func newRuntime() (*core.Runtime, error) {
+	return core.New(core.DefaultConfig())
+}
+
+// header renders an experiment banner.
+func header(id, title string) string {
+	line := strings.Repeat("=", 72)
+	return fmt.Sprintf("%s\n%s — %s\n%s\n", line, id, title, line)
+}

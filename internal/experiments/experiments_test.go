@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIDsCoverEveryPaperArtifact(t *testing.T) {
+	want := []string{
+		"table2", "table3", "table4",
+		"fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15",
+		"x-automl", "x-multigpu", "x-readahead", "x-tiering",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registered %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestLookupAndRunUnknown(t *testing.T) {
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown id resolved")
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Fatal("unknown id ran")
+	}
+	e, ok := Lookup("table2")
+	if !ok || e.Title == "" {
+		t.Fatal("table2 lookup failed")
+	}
+}
+
+// Every cheap experiment must run and produce non-trivial output. The
+// heavyweight ones (fig7, fig9, fig12) are exercised by the benchmark suite
+// and their own package tests.
+func TestCheapExperimentsProduceOutput(t *testing.T) {
+	for _, id := range []string{"table2", "table4", "fig1", "fig6", "fig10", "fig11", "fig13", "fig14", "fig15"} {
+		out, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) < 100 || !strings.Contains(out, id) {
+			t.Fatalf("%s produced suspicious output:\n%s", id, out)
+		}
+	}
+}
+
+func TestTable3ReproducesCrossovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table3 sweeps every workload")
+	}
+	out, err := Run("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"I/O latency prediction", "Page warmth", "Load balancing",
+		"Filesystem prefetching", "Malware detection", "Filesystem encryption",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 missing row %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8RunsFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 sweeps three model variants")
+	}
+	out, err := Run("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "crossover at batch 8") {
+		t.Fatalf("fig8 lost the batch-8 crossover:\n%s", out)
+	}
+}
+
+func TestFig7ShortReplayShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 replays the full workload matrix")
+	}
+	out, err := Fig7WithLength(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Mixed+") || !strings.Contains(out, "Azure*") {
+		t.Fatalf("fig7 output missing workloads:\n%s", out)
+	}
+}
+
+// The heavyweight experiments run in full (non-short) mode so every
+// registered artifact is executable end to end.
+func TestHeavyExperimentsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiments take seconds each")
+	}
+	for _, id := range []string{"fig9", "fig12", "x-automl", "x-tiering", "x-multigpu", "x-readahead"} {
+		out, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) < 100 || !strings.Contains(out, id) {
+			t.Fatalf("%s produced suspicious output:\n%s", id, out)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lakego/internal/boundary"
+	"lakego/internal/trace"
+)
+
+func init() {
+	register(Experiment{ID: "table2", Title: "Kernel->user channel call time and doorbell latency", Run: Table2})
+	register(Experiment{ID: "fig6", Title: "Netlink message round-trip overhead vs command size", Run: Fig6})
+	register(Experiment{ID: "table4", Title: "Generated trace characteristics", Run: Table4})
+}
+
+// Table2 reproduces Table 2: average call time and latency to send a
+// doorbell message from kernel to user for each channel mechanism.
+func Table2() (string, error) {
+	var b strings.Builder
+	b.WriteString(header("table2", "channel doorbell costs (paper Table 2)"))
+	b.WriteString(fmt.Sprintf("%-16s", ""))
+	for _, k := range boundary.Kinds() {
+		b.WriteString(fmt.Sprintf("%12s", k))
+	}
+	b.WriteString("\n")
+	b.WriteString(fmt.Sprintf("%-16s", "Call time (µs)"))
+	for _, k := range boundary.Kinds() {
+		b.WriteString(fmt.Sprintf("%12d", boundary.CallTime(k).Microseconds()))
+	}
+	b.WriteString("\n")
+	b.WriteString(fmt.Sprintf("%-16s", "Latency (µs)"))
+	for _, k := range boundary.Kinds() {
+		b.WriteString(fmt.Sprintf("%12d", boundary.DoorbellLatency(k).Microseconds()))
+	}
+	b.WriteString("\n")
+	b.WriteString(fmt.Sprintf("%-16s", "CPU burn (µs)"))
+	for _, k := range boundary.Kinds() {
+		b.WriteString(fmt.Sprintf("%12d", boundary.CPUBurn(k, boundary.DoorbellLatency(k)).Microseconds()))
+	}
+	b.WriteString("\n(CPU burn while waiting one doorbell: mmap spins a core, hence Netlink is chosen)\n")
+	return b.String(), nil
+}
+
+// Fig6 reproduces Fig 6: round-trip cost of Netlink command messages from
+// 128 B to 32 KiB.
+func Fig6() (string, error) {
+	var b strings.Builder
+	b.WriteString(header("fig6", "netlink message overhead by size (paper Fig 6)"))
+	b.WriteString(fmt.Sprintf("%-14s %12s\n", "Command size", "Time (µs)"))
+	for _, size := range []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768} {
+		d := boundary.MessageRoundTrip(boundary.Netlink, size)
+		b.WriteString(fmt.Sprintf("%-14s %12.2f\n", sizeLabel(size), float64(d.Microseconds())))
+	}
+	return b.String(), nil
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Table4 reproduces Table 4: the characteristics of the generated traces.
+func Table4() (string, error) {
+	var b strings.Builder
+	b.WriteString(header("table4", "generated trace characteristics (paper Table 4)"))
+	b.WriteString(fmt.Sprintf("%-8s %10s %22s %24s\n",
+		"Trace", "Avg IOPS", "Read/Write size (KB)", "Min/Max arrival (µs)"))
+	for i, p := range trace.Profiles() {
+		s := trace.Measure(p.Generate(int64(40+i), 20000))
+		b.WriteString(fmt.Sprintf("%-8s %10.0f %12.0f/%-9.0f %14d/%-9d\n",
+			p.Name, s.AvgIOPS, s.AvgReadKB, s.AvgWriteKB,
+			s.MinArrival.Microseconds(), s.MaxArrival.Microseconds()))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,469 @@
+package features
+
+import (
+	"encoding/binary"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lakego/internal/policy"
+)
+
+func ioSchema() Schema {
+	return Schema{
+		{Key: "pend_ios", Size: 8, Entries: 1},
+		{Key: "io_latency", Size: 8, Entries: 4}, // last 4 latencies (§5.2 idiom)
+	}
+}
+
+func newStoreAndRegistry(t *testing.T) (*Store, *Registry) {
+	t.Helper()
+	s := NewStore()
+	r, err := s.CreateRegistry("sda1", "bio_latency_prediction", ioSchema(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func u64(v int64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func TestSchemaValidate(t *testing.T) {
+	bad := []Schema{
+		{},
+		{{Key: "", Size: 8, Entries: 1}},
+		{{Key: "a", Size: 0, Entries: 1}},
+		{{Key: "a", Size: 8, Entries: 0}},
+		{{Key: "a", Size: 8, Entries: 1}, {Key: "a", Size: 4, Entries: 1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schema %d validated, want error", i)
+		}
+	}
+	if err := ioSchema().Validate(); err != nil {
+		t.Errorf("good schema rejected: %v", err)
+	}
+}
+
+func TestCreateRegistryValidation(t *testing.T) {
+	s := NewStore()
+	if _, err := s.CreateRegistry("", "sys", ioSchema(), 4); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.CreateRegistry("n", "sys", ioSchema(), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := s.CreateRegistry("n", "sys", Schema{}, 4); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := s.CreateRegistry("n", "sys", ioSchema(), 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateRegistry("n", "sys", ioSchema(), 4); err == nil {
+		t.Error("duplicate registry accepted")
+	}
+}
+
+func TestDestroyRegistry(t *testing.T) {
+	s, _ := newStoreAndRegistry(t)
+	if s.Registries() != 1 {
+		t.Fatalf("Registries = %d, want 1", s.Registries())
+	}
+	if err := s.DestroyRegistry("sda1", "bio_latency_prediction"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DestroyRegistry("sda1", "bio_latency_prediction"); err == nil {
+		t.Fatal("double destroy succeeded")
+	}
+	if _, ok := s.Registry("sda1", "bio_latency_prediction"); ok {
+		t.Fatal("registry still resolvable after destroy")
+	}
+}
+
+func TestCaptureCommitRetrieve(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	r.BeginCapture(10)
+	if _, err := r.CaptureFeatureIncr("pend_ios", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CaptureFeature("io_latency", u64(250)); err != nil {
+		t.Fatal(err)
+	}
+	v := r.CommitCapture(20)
+	if v.TsBegin != 10 || v.TsEnd != 20 {
+		t.Fatalf("ts = [%v, %v], want [10, 20]", v.TsBegin, v.TsEnd)
+	}
+	if got := int64(binary.LittleEndian.Uint64(v.Values["pend_ios"])); got != 3 {
+		t.Fatalf("pend_ios = %d, want 3", got)
+	}
+	if got := int64(binary.LittleEndian.Uint64(v.Values["io_latency"][:8])); got != 250 {
+		t.Fatalf("io_latency[0] = %d, want 250", got)
+	}
+	all := r.GetFeatures(NullTS)
+	if len(all) != 1 {
+		t.Fatalf("GetFeatures(NullTS) = %d vectors, want 1", len(all))
+	}
+}
+
+func TestCaptureRejectsUnknownKeyAndOversize(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	if err := r.CaptureFeature("nope", u64(1)); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := r.CaptureFeatureIncr("nope", 1); err == nil {
+		t.Error("unknown incr key accepted")
+	}
+	if err := r.CaptureFeature("pend_ios", make([]byte, 16)); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+func TestHistoryShifting(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	// Commit latencies 100, 200, 300; io_latency keeps 4 entries.
+	for i, lat := range []int64{100, 200, 300} {
+		r.BeginCapture(time.Duration(i * 10))
+		r.CaptureFeature("io_latency", u64(lat))
+		r.CommitCapture(time.Duration(i*10 + 5))
+	}
+	vs := r.GetFeatures(NullTS)
+	last := vs[len(vs)-1]
+	hist := last.Values["io_latency"]
+	want := []int64{300, 200, 100, 0}
+	for i, w := range want {
+		got := int64(binary.LittleEndian.Uint64(hist[8*i:]))
+		if got != w {
+			t.Fatalf("history[%d] = %d, want %d (full hist: % x)", i, got, w, hist)
+		}
+	}
+}
+
+func TestRunningCountersPersistAcrossCommits(t *testing.T) {
+	// The Listing 4/5 idiom: pend_ios is incremented on issue and
+	// decremented on completion, across many vectors.
+	_, r := newStoreAndRegistry(t)
+	r.BeginCapture(0)
+	r.CaptureFeatureIncr("pend_ios", 1) // issue
+	r.CommitCapture(1)
+	r.BeginCapture(1)
+	r.CaptureFeatureIncr("pend_ios", 1)  // issue
+	r.CaptureFeatureIncr("pend_ios", -1) // completion of the first
+	v := r.CommitCapture(2)
+	if got := int64(binary.LittleEndian.Uint64(v.Values["pend_ios"])); got != 1 {
+		t.Fatalf("pend_ios = %d, want 1 (2 issued - 1 completed)", got)
+	}
+}
+
+func TestGetFeaturesByTimestamp(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	for i := 0; i < 5; i++ {
+		r.BeginCapture(time.Duration(i * 100))
+		r.CaptureFeatureIncr("pend_ios", 1)
+		r.CommitCapture(time.Duration(i*100 + 50))
+	}
+	// Vectors end at 50, 150, 250, 350, 450.
+	got := r.GetFeatures(250)
+	if len(got) != 3 {
+		t.Fatalf("GetFeatures(250) = %d vectors, want 3", len(got))
+	}
+	if got[0].TsEnd != 50 || got[2].TsEnd != 250 {
+		t.Fatalf("unexpected batch: ends %v, %v", got[0].TsEnd, got[2].TsEnd)
+	}
+}
+
+func TestTruncatePreservesNewestWithHistory(t *testing.T) {
+	_, r := newStoreAndRegistry(t) // schema has history
+	for i := 0; i < 4; i++ {
+		r.BeginCapture(time.Duration(i))
+		r.CommitCapture(time.Duration(i + 1))
+	}
+	dropped := r.Truncate(NullTS)
+	if dropped != 3 {
+		t.Fatalf("Truncate dropped %d, want 3", dropped)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (most recent preserved for history)", r.Len())
+	}
+}
+
+func TestTruncateClearsFullyWithoutHistory(t *testing.T) {
+	s := NewStore()
+	r, err := s.CreateRegistry("dev", "sys", Schema{{Key: "x", Size: 8, Entries: 1}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r.BeginCapture(time.Duration(i))
+		r.CommitCapture(time.Duration(i + 1))
+	}
+	if dropped := r.Truncate(NullTS); dropped != 4 {
+		t.Fatalf("Truncate dropped %d, want 4", dropped)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestTruncateByTimestamp(t *testing.T) {
+	s := NewStore()
+	r, _ := s.CreateRegistry("dev", "sys", Schema{{Key: "x", Size: 8, Entries: 1}}, 8)
+	for i := 0; i < 5; i++ {
+		r.BeginCapture(time.Duration(i * 100))
+		r.CommitCapture(time.Duration(i*100 + 50))
+	}
+	if dropped := r.Truncate(250); dropped != 3 {
+		t.Fatalf("Truncate(250) dropped %d, want 3", dropped)
+	}
+	remaining := r.GetFeatures(NullTS)
+	if len(remaining) != 2 || remaining[0].TsEnd != 350 {
+		t.Fatalf("remaining = %d vectors, first end %v", len(remaining), remaining[0].TsEnd)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	s := NewStore()
+	r, _ := s.CreateRegistry("dev", "sys", Schema{{Key: "x", Size: 8, Entries: 1}}, 3)
+	for i := 0; i < 10; i++ {
+		r.BeginCapture(time.Duration(i))
+		r.CommitCapture(time.Duration(i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want window 3", r.Len())
+	}
+	if r.Commits() != 10 {
+		t.Fatalf("Commits = %d, want 10", r.Commits())
+	}
+}
+
+func TestScoreFeaturesWithPolicyRouting(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	var cpuCalls, gpuCalls int
+	r.RegisterClassifier(ArchCPU, func(batch []Vector) ([]float32, error) {
+		cpuCalls++
+		return make([]float32, len(batch)), nil
+	})
+	r.RegisterClassifier(ArchGPU, func(batch []Vector) ([]float32, error) {
+		gpuCalls++
+		return make([]float32, len(batch)), nil
+	})
+	// Policy: GPU for batches >= 4.
+	r.RegisterPolicy(func(b int) policy.Decision {
+		if b >= 4 {
+			return policy.UseGPU
+		}
+		return policy.UseCPU
+	})
+
+	mkBatch := func(n int) []Vector {
+		for i := 0; i < n; i++ {
+			r.BeginCapture(0)
+			r.CommitCapture(0)
+		}
+		return r.GetFeatures(NullTS)
+	}
+
+	if _, arch, err := r.ScoreFeatures(mkBatch(2)); err != nil || arch != ArchCPU {
+		t.Fatalf("small batch: arch=%v err=%v, want CPU", arch, err)
+	}
+	r.Truncate(NullTS)
+	if _, arch, err := r.ScoreFeatures(mkBatch(8)); err != nil || arch != ArchGPU {
+		t.Fatalf("large batch: arch=%v err=%v, want GPU", arch, err)
+	}
+	if cpuCalls != 1 || gpuCalls != 1 {
+		t.Fatalf("calls cpu=%d gpu=%d, want 1,1", cpuCalls, gpuCalls)
+	}
+}
+
+func TestScoreFeaturesFallsBackToCPU(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	r.RegisterClassifier(ArchCPU, func(batch []Vector) ([]float32, error) {
+		return make([]float32, len(batch)), nil
+	})
+	r.RegisterPolicy(func(int) policy.Decision { return policy.UseGPU })
+	r.BeginCapture(0)
+	r.CommitCapture(0)
+	_, arch, err := r.ScoreFeatures(r.GetFeatures(NullTS))
+	if err != nil || arch != ArchCPU {
+		t.Fatalf("arch=%v err=%v, want CPU fallback when no GPU classifier", arch, err)
+	}
+}
+
+func TestScoreFeaturesErrors(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	if _, _, err := r.ScoreFeatures([]Vector{{}}); err == nil {
+		t.Error("no classifier: want error")
+	}
+	r.RegisterClassifier(ArchCPU, func(batch []Vector) ([]float32, error) {
+		return []float32{1, 2, 3}, nil // wrong length
+	})
+	if _, _, err := r.ScoreFeatures([]Vector{{}}); err == nil {
+		t.Error("mismatched score count: want error")
+	}
+	if scores, _, err := r.ScoreFeatures(nil); err != nil || scores != nil {
+		t.Error("empty batch should score to nil without error")
+	}
+	if err := r.RegisterClassifier(ArchCPU, nil); err == nil {
+		t.Error("nil classifier accepted")
+	}
+	if err := r.RegisterPolicy(nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestConcurrentCaptureFromManyThreads(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	r.BeginCapture(0)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.CaptureFeatureIncr("pend_ios", 1)
+				r.CaptureFeatureIncr("pend_ios", -1)
+				r.CaptureFeature("io_latency", u64(int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	v := r.CommitCapture(1)
+	if got := int64(binary.LittleEndian.Uint64(v.Values["pend_ios"])); got != 0 {
+		t.Fatalf("pend_ios = %d, want 0 after balanced incr/decr", got)
+	}
+}
+
+func TestModelLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore()
+	path := filepath.Join(dir, "linnos.model")
+	m, err := s.CreateModel("sda1", "bio", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateModel("sda1", "bio", path); err == nil {
+		t.Fatal("duplicate model accepted")
+	}
+	blob := []byte{1, 2, 3, 4}
+	if err := s.UpdateModel("sda1", "bio", blob); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh store loads the committed blob from disk.
+	s2 := NewStore()
+	m2, err := s2.LoadModel("sda1", "bio", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m2.Blob) != string(blob) {
+		t.Fatalf("loaded blob = %v, want %v", m2.Blob, blob)
+	}
+	if err := s2.DeleteModel("sda1", "bio"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.LoadModel("sda1", "bio", path); err == nil {
+		t.Fatal("load after delete succeeded")
+	}
+	if err := s.UpdateModel("ghost", "bio", nil); err == nil {
+		t.Fatal("update of missing model succeeded")
+	}
+	if err := s.DeleteModel("ghost", "bio"); err == nil {
+		t.Fatal("delete of missing model succeeded")
+	}
+	if m.Path != path {
+		t.Fatalf("model path = %q, want %q", m.Path, path)
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if ArchCPU.String() != "CPU" || ArchGPU.String() != "GPU" || ArchXPU.String() != "XPU" {
+		t.Fatal("Arch strings wrong")
+	}
+	if Arch(9).String() == "" {
+		t.Fatal("unknown arch stringifies empty")
+	}
+}
+
+// Property: after any commit sequence, every io_latency history array holds
+// the per-vector samples in reverse commit order.
+func TestQuickHistoryMatchesCommits(t *testing.T) {
+	f := func(lats []uint16) bool {
+		if len(lats) == 0 {
+			return true
+		}
+		s := NewStore()
+		r, err := s.CreateRegistry("d", "s", Schema{{Key: "lat", Size: 8, Entries: 3}}, 64)
+		if err != nil {
+			return false
+		}
+		for i, l := range lats {
+			if i >= 60 {
+				break
+			}
+			r.BeginCapture(time.Duration(i))
+			r.CaptureFeature("lat", u64(int64(l)))
+			r.CommitCapture(time.Duration(i))
+		}
+		vs := r.GetFeatures(NullTS)
+		last := vs[len(vs)-1]
+		n := len(lats)
+		if n > 60 {
+			n = 60
+		}
+		for j := 0; j < 3 && j < n; j++ {
+			got := int64(binary.LittleEndian.Uint64(last.Values["lat"][8*j:]))
+			if got != int64(lats[n-1-j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetFeatureAtPointQuery(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	// Vectors covering [0,10], [10,25], [25,30].
+	for _, iv := range [][2]time.Duration{{0, 10}, {10, 25}, {25, 30}} {
+		r.BeginCapture(iv[0])
+		r.CommitCapture(iv[1])
+	}
+	v, ok := r.GetFeatureAt(12)
+	if !ok || v.TsBegin != 10 || v.TsEnd != 25 {
+		t.Fatalf("GetFeatureAt(12) = [%v,%v] ok=%v, want [10,25]", v.TsBegin, v.TsEnd, ok)
+	}
+	// Boundary timestamps hit the first covering vector.
+	if v, ok := r.GetFeatureAt(10); !ok || v.TsBegin != 0 {
+		t.Fatalf("GetFeatureAt(10) = [%v,%v] ok=%v, want the first interval", v.TsBegin, v.TsEnd, ok)
+	}
+	if _, ok := r.GetFeatureAt(99); ok {
+		t.Fatal("uncovered timestamp resolved")
+	}
+}
+
+func TestRegistryStats(t *testing.T) {
+	_, r := newStoreAndRegistry(t)
+	r.RegisterClassifier(ArchCPU, func(batch []Vector) ([]float32, error) {
+		return make([]float32, len(batch)), nil
+	})
+	r.BeginCapture(0)
+	r.CaptureFeature("io_latency", u64(1))
+	r.CaptureFeatureIncr("pend_ios", 1)
+	r.CaptureFeatureIncr("pend_ios", -1)
+	r.CommitCapture(1)
+	if _, _, err := r.ScoreFeatures(r.GetFeatures(NullTS)); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Captures != 1 || st.Incrs != 2 || st.Commits != 1 || st.Scored != 1 || st.Buffered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

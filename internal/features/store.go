@@ -1,0 +1,171 @@
+package features
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is the process-wide collection of feature registries and ML models,
+// keyed by (name, sys) exactly as every Table 1 API call is. A LAKE runtime
+// owns one Store.
+type Store struct {
+	mu         sync.Mutex
+	registries map[string]*Registry
+	models     map[string]*Model
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		registries: make(map[string]*Registry),
+		models:     make(map[string]*Model),
+	}
+}
+
+func key(name, sys string) string { return name + "\x00" + sys }
+
+// CreateRegistry creates a feature registry with capacity window
+// (create_registry).
+func (s *Store) CreateRegistry(name, sys string, schema Schema, window int) (*Registry, error) {
+	if name == "" || sys == "" {
+		return nil, errors.New("features: registry name and sys are required")
+	}
+	r, err := newRegistry(name, sys, schema, window)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.registries[key(name, sys)]; exists {
+		return nil, fmt.Errorf("features: registry %s/%s already exists", name, sys)
+	}
+	s.registries[key(name, sys)] = r
+	return r, nil
+}
+
+// Registry looks up an existing registry.
+func (s *Store) Registry(name, sys string) (*Registry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.registries[key(name, sys)]
+	return r, ok
+}
+
+// DestroyRegistry destroys a feature registry (destroy_registry).
+func (s *Store) DestroyRegistry(name, sys string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.registries[key(name, sys)]; !ok {
+		return fmt.Errorf("features: registry %s/%s does not exist", name, sys)
+	}
+	delete(s.registries, key(name, sys))
+	return nil
+}
+
+// Registries returns the number of live registries.
+func (s *Store) Registries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.registries)
+}
+
+// Model is one managed ML model: an opaque parameter blob plus its
+// file-system home. Models are "committed to the file system and loaded
+// into memory at boot time. Loading and update are infrequent, so file
+// system overheads are acceptable, but at inference time, having the model
+// in memory is critical" (§5.1) — hence Blob stays resident.
+type Model struct {
+	Name string
+	Sys  string
+	Path string
+	Blob []byte
+}
+
+// CreateModel creates a new (empty) model saved at path (create_model).
+func (s *Store) CreateModel(name, sys, path string) (*Model, error) {
+	if name == "" || sys == "" || path == "" {
+		return nil, errors.New("features: model name, sys and path are required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.models[key(name, sys)]; exists {
+		return nil, fmt.Errorf("features: model %s/%s already exists", name, sys)
+	}
+	m := &Model{Name: name, Sys: sys, Path: path}
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		return nil, fmt.Errorf("features: create model file: %w", err)
+	}
+	s.models[key(name, sys)] = m
+	return m, nil
+}
+
+// Model looks up an in-memory model.
+func (s *Store) Model(name, sys string) (*Model, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[key(name, sys)]
+	return m, ok
+}
+
+// UpdateModel commits the model's current in-memory blob to the file system
+// (update_model). Pass blob to replace the parameters atomically.
+func (s *Store) UpdateModel(name, sys string, blob []byte) error {
+	s.mu.Lock()
+	m, ok := s.models[key(name, sys)]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("features: model %s/%s does not exist", name, sys)
+	}
+	if blob != nil {
+		cp := make([]byte, len(blob))
+		copy(cp, blob)
+		m.Blob = cp
+	}
+	tmp := m.Path + ".tmp"
+	if err := os.WriteFile(tmp, m.Blob, 0o644); err != nil {
+		return fmt.Errorf("features: write model: %w", err)
+	}
+	if err := os.Rename(tmp, m.Path); err != nil {
+		return fmt.Errorf("features: commit model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel loads a model's parameters from path into memory (load_model),
+// registering it under (name, sys) if new.
+func (s *Store) LoadModel(name, sys, path string) (*Model, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("features: load model: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[key(name, sys)]
+	if !ok {
+		m = &Model{Name: name, Sys: sys, Path: path}
+		s.models[key(name, sys)] = m
+	}
+	m.Path = path
+	m.Blob = blob
+	return m, nil
+}
+
+// DeleteModel deletes a model from the file system and memory
+// (delete_model).
+func (s *Store) DeleteModel(name, sys string) error {
+	s.mu.Lock()
+	m, ok := s.models[key(name, sys)]
+	if ok {
+		delete(s.models, key(name, sys))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("features: model %s/%s does not exist", name, sys)
+	}
+	if err := os.Remove(m.Path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("features: delete model file: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"lakego/internal/vtime"
+)
+
+func TestOccupySpanRecordsArbitraryIntervals(t *testing.T) {
+	clk := vtime.New()
+	d := New(DefaultSpec(), clk)
+	// Lay sliced occupancy across a 100ms step: 10 slices, 40% duty.
+	for k := 0; k < 10; k++ {
+		s := time.Duration(k) * 10 * time.Millisecond
+		d.OccupySpan("duty", s, s+4*time.Millisecond)
+	}
+	clk.AdvanceTo(100 * time.Millisecond)
+	u := d.Utilization(100*time.Millisecond, "duty")
+	if u < 0.35 || u > 0.45 {
+		t.Fatalf("sliced utilization = %.3f, want ~0.40", u)
+	}
+	if got := d.BusyUntil(); got != 94*time.Millisecond {
+		t.Fatalf("BusyUntil = %v, want 94ms", got)
+	}
+}
+
+func TestOccupySpanIgnoresEmptyOrInverted(t *testing.T) {
+	d := New(DefaultSpec(), vtime.New())
+	d.OccupySpan("x", 10, 10)
+	d.OccupySpan("x", 20, 5)
+	d.Clock().Advance(time.Second)
+	if u := d.Utilization(time.Second, ""); u != 0 {
+		t.Fatalf("utilization = %v after degenerate spans", u)
+	}
+}
+
+func TestOccupyUntilQueuesBehindExistingWork(t *testing.T) {
+	clk := vtime.New()
+	d := New(DefaultSpec(), clk)
+	d.Execute("a", 10*time.Millisecond, nil) // busy until 10ms
+	clk.Reset()                              // rewind observer view; device state persists
+	clk.Advance(time.Millisecond)
+	d.OccupyUntil("b", 5*time.Millisecond) // earlier than busyUntil: extends nothing
+	if got := d.BusyUntil(); got != 10*time.Millisecond {
+		t.Fatalf("BusyUntil = %v, want 10ms (no shrink)", got)
+	}
+}

@@ -1,0 +1,107 @@
+package gpu
+
+import (
+	"sync"
+	"time"
+)
+
+// Stream is an ordered asynchronous work queue on the device, the mechanism
+// behind the paper's "LAKE" (asynchronous data movement) measurements: work
+// enqueued on a stream executes in order on its own timeline and only
+// synchronization advances the caller's clock, so copies and compute on
+// different streams overlap.
+//
+// Functional effects (kernel bodies, memory movement) are applied at
+// enqueue time; the virtual timeline tracks when they would complete, which
+// is what Synchronize waits for. This is sound for programs that only read
+// results after synchronizing — the discipline real CUDA requires anyway.
+type Stream struct {
+	dev    *Device
+	client string
+
+	mu          sync.Mutex
+	availableAt time.Duration
+}
+
+// NewStream creates a stream attributed to client.
+func (d *Device) NewStream(client string) *Stream {
+	return &Stream{dev: d, client: client}
+}
+
+// enqueue appends an operation of the given modeled cost to the stream's
+// timeline and returns its completion instant. The device records the busy
+// span for utilization accounting but the caller's clock does not advance.
+func (s *Stream) enqueue(cost time.Duration) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.dev.Clock().Now()
+	if s.availableAt > start {
+		start = s.availableAt
+	}
+	end := start + cost
+	s.availableAt = end
+	s.dev.OccupySpan(s.client, start, end)
+	return end
+}
+
+// EnqueueTransfer models an asynchronous host<->device copy of n bytes and
+// applies fn (the actual byte movement) immediately.
+func (s *Stream) EnqueueTransfer(n int64, fn func()) time.Duration {
+	end := s.enqueue(s.dev.TransferTime(n))
+	if fn != nil {
+		fn()
+	}
+	return end
+}
+
+// EnqueueCompute models an asynchronous kernel of the given FLOP budget and
+// runs fn (the kernel body) immediately.
+func (s *Stream) EnqueueCompute(flops float64, fn func()) time.Duration {
+	cost := s.dev.Spec().LaunchOverhead + s.dev.ComputeTime(flops)
+	end := s.enqueue(cost)
+	if fn != nil {
+		fn()
+	}
+	return end
+}
+
+// CompletesAt reports when the last enqueued operation finishes.
+func (s *Stream) CompletesAt() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.availableAt
+}
+
+// Synchronize blocks (advances the virtual clock) until the stream drains,
+// like cuStreamSynchronize.
+func (s *Stream) Synchronize() time.Duration {
+	return s.dev.Clock().AdvanceTo(s.CompletesAt())
+}
+
+// Event is a marker on a stream's timeline, like cuEvent.
+type Event struct {
+	at time.Duration
+}
+
+// RecordEvent captures the stream's current completion horizon.
+func (s *Stream) RecordEvent() Event {
+	return Event{at: s.CompletesAt()}
+}
+
+// Synchronize advances the clock to the event, like cuEventSynchronize.
+func (e Event) Synchronize(d *Device) time.Duration {
+	return d.Clock().AdvanceTo(e.at)
+}
+
+// At reports the event's completion instant.
+func (e Event) At() time.Duration { return e.at }
+
+// WaitEvent makes subsequent work on s start no earlier than the event,
+// like cuStreamWaitEvent — the cross-stream ordering primitive.
+func (s *Stream) WaitEvent(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.at > s.availableAt {
+		s.availableAt = e.at
+	}
+}

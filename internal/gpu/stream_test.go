@@ -1,0 +1,126 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"lakego/internal/vtime"
+)
+
+func TestStreamSerializesWithinItself(t *testing.T) {
+	clk := vtime.New()
+	d := New(DefaultSpec(), clk)
+	s := d.NewStream("w")
+	e1 := s.EnqueueCompute(0, nil) // launch overhead only (5µs)
+	e2 := s.EnqueueCompute(0, nil)
+	if e2 != e1+d.Spec().LaunchOverhead {
+		t.Fatalf("second op completes at %v, want %v", e2, e1+d.Spec().LaunchOverhead)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("clock advanced (%v) before synchronize", clk.Now())
+	}
+	s.Synchronize()
+	if clk.Now() != e2 {
+		t.Fatalf("clock = %v after sync, want %v", clk.Now(), e2)
+	}
+}
+
+func TestStreamsOverlap(t *testing.T) {
+	// Two streams, each with 100µs of work: wall time with overlap is
+	// ~100µs, not 200µs.
+	clk := vtime.New()
+	d := New(DefaultSpec(), clk)
+	a := d.NewStream("a")
+	b := d.NewStream("b")
+	cost := d.ComputeTime(d.Spec().GFLOPS * 1e9 / 1e4) // 100µs of FLOPs
+	a.EnqueueCompute(float64(cost)/float64(time.Second)*d.Spec().GFLOPS*1e9, nil)
+	b.EnqueueCompute(float64(cost)/float64(time.Second)*d.Spec().GFLOPS*1e9, nil)
+	a.Synchronize()
+	b.Synchronize()
+	if got := clk.Now(); got > 120*time.Microsecond {
+		t.Fatalf("overlapped streams took %v, want ~105µs", got)
+	}
+}
+
+func TestPipelineBeatsSequential(t *testing.T) {
+	// Double buffering: copy chunk i+1 while computing chunk i. The
+	// pipelined virtual time must beat the strictly sequential one.
+	run := func(pipelined bool) time.Duration {
+		clk := vtime.New()
+		d := New(DefaultSpec(), clk)
+		copyStream := d.NewStream("copy")
+		computeStream := d.NewStream("compute")
+		const chunks = 8
+		const bytes = 1 << 20
+		flops := 4.0e8 // ~90µs of compute, comparable to each chunk transfer
+		for i := 0; i < chunks; i++ {
+			ev := copyStream.RecordEvent()
+			copyStream.EnqueueTransfer(bytes, nil)
+			if pipelined {
+				// Compute waits only for the chunk's copy.
+				computeStream.WaitEvent(copyStream.RecordEvent())
+				computeStream.EnqueueCompute(flops, nil)
+				_ = ev
+			} else {
+				// Strict order: copy, then compute, on one timeline.
+				copyStream.EnqueueCompute(flops, nil)
+			}
+		}
+		copyStream.Synchronize()
+		computeStream.Synchronize()
+		return clk.Now()
+	}
+	seq := run(false)
+	pipe := run(true)
+	if pipe >= seq {
+		t.Fatalf("pipelined %v not faster than sequential %v", pipe, seq)
+	}
+	// Should approach max(copy total, compute total), far below the sum.
+	if float64(pipe) > 0.75*float64(seq) {
+		t.Fatalf("pipeline speedup too small: %v vs %v", pipe, seq)
+	}
+}
+
+func TestEventOrderingAcrossStreams(t *testing.T) {
+	clk := vtime.New()
+	d := New(DefaultSpec(), clk)
+	producer := d.NewStream("p")
+	consumer := d.NewStream("c")
+	producer.EnqueueTransfer(12<<20, nil) // ~1ms copy
+	ev := producer.RecordEvent()
+	consumer.WaitEvent(ev)
+	end := consumer.EnqueueCompute(0, nil)
+	if end < ev.At() {
+		t.Fatalf("consumer ran at %v, before producer's event %v", end, ev.At())
+	}
+	if got := ev.Synchronize(d); got < ev.At() {
+		t.Fatalf("event sync advanced to %v, want >= %v", got, ev.At())
+	}
+}
+
+func TestStreamUtilizationAttribution(t *testing.T) {
+	clk := vtime.New()
+	d := New(DefaultSpec(), clk)
+	s := d.NewStream("ml")
+	s.EnqueueCompute(d.Spec().GFLOPS*1e9/100, nil) // 10ms of work
+	s.Synchronize()
+	u := d.Utilization(clk.Now(), "ml")
+	if u < 0.9 {
+		t.Fatalf("stream work not attributed: utilization %.2f", u)
+	}
+}
+
+func TestStreamFunctionalEffectsApplied(t *testing.T) {
+	d := New(DefaultSpec(), vtime.New())
+	s := d.NewStream("x")
+	ran := false
+	s.EnqueueCompute(0, func() { ran = true })
+	if !ran {
+		t.Fatal("kernel body not applied at enqueue")
+	}
+	moved := false
+	s.EnqueueTransfer(4096, func() { moved = true })
+	if !moved {
+		t.Fatal("transfer body not applied at enqueue")
+	}
+}

@@ -1,0 +1,115 @@
+package kleio
+
+import (
+	"fmt"
+)
+
+// This file is the page-scheduling substrate around the classifier: a
+// two-tier memory simulator in the style of the systems Kleio targets
+// (§7.2: multi-tiered memory "combines different memory types (e.g. RAM,
+// NVMe) to expand capacity but faces data placement challenges ... The
+// challenge is to classify pages to inform where they should be stored").
+//
+// Each interval the scheduler predicts next-interval hotness and moves the
+// predicted-hot pages into the fast tier (capacity permitting). The figure
+// of merit is the fraction of accesses served from the fast tier.
+
+// Scheduler predicts which pages will be hot next interval given each
+// page's recent access-count history.
+type Scheduler interface {
+	PredictHot(hist []PageHistory) []bool
+}
+
+// SchedulerFunc adapts a function to Scheduler.
+type SchedulerFunc func(hist []PageHistory) []bool
+
+// PredictHot implements Scheduler.
+func (f SchedulerFunc) PredictHot(hist []PageHistory) []bool { return f(hist) }
+
+// HistoryBased returns the Meswani-style baseline scheduler with the given
+// hotness threshold.
+func HistoryBased(threshold float32) Scheduler {
+	return SchedulerFunc(func(hist []PageHistory) []bool {
+		return HistoryScheduler(hist, threshold)
+	})
+}
+
+// OracleScheduler returns ground-truth placement for an access pattern —
+// the upper bound Kleio chases ("Kleio simulates different page schedulers"
+// against an oracle).
+type OracleScheduler struct {
+	pattern *AccessPattern
+}
+
+// NewOracle wraps a pattern generator.
+func NewOracle(p *AccessPattern) *OracleScheduler { return &OracleScheduler{pattern: p} }
+
+// PredictHot implements Scheduler with perfect knowledge.
+func (o *OracleScheduler) PredictHot([]PageHistory) []bool { return o.pattern.HotNext() }
+
+// TierResult summarizes a tiering simulation.
+type TierResult struct {
+	Intervals int
+	// FastHitRatio is the fraction of accesses served from the fast tier.
+	FastHitRatio float64
+	// Migrations counts pages moved between tiers.
+	Migrations int
+}
+
+// TierSim runs a two-tier placement simulation: pages predicted hot are
+// promoted into a fast tier of fastCapacity pages; accesses to fast-tier
+// pages are hits. Returns the achieved fast-tier hit ratio.
+func TierSim(pattern *AccessPattern, sched Scheduler, pages, fastCapacity, intervals int) (TierResult, error) {
+	if fastCapacity <= 0 || fastCapacity > pages {
+		return TierResult{}, fmt.Errorf("kleio: fast capacity %d invalid for %d pages", fastCapacity, pages)
+	}
+	if intervals <= 0 {
+		return TierResult{}, fmt.Errorf("kleio: intervals %d invalid", intervals)
+	}
+	hist := make([]PageHistory, pages)
+	inFast := make([]bool, pages)
+	var res TierResult
+
+	for it := 0; it < intervals; it++ {
+		// Place pages for the upcoming interval based on history so far.
+		if it > 0 {
+			pred := sched.PredictHot(hist)
+			if len(pred) != pages {
+				return TierResult{}, fmt.Errorf("kleio: scheduler returned %d predictions for %d pages", len(pred), pages)
+			}
+			// Promote predicted-hot pages (first-come within capacity),
+			// demote the rest.
+			placed := 0
+			newFast := make([]bool, pages)
+			for p := 0; p < pages && placed < fastCapacity; p++ {
+				if pred[p] {
+					newFast[p] = true
+					placed++
+				}
+			}
+			for p := range newFast {
+				if newFast[p] != inFast[p] {
+					res.Migrations++
+				}
+			}
+			inFast = newFast
+		}
+		counts := pattern.NextInterval()
+		var hits, total float64
+		for p, c := range counts {
+			total += float64(c)
+			if inFast[p] {
+				hits += float64(c)
+			}
+			// Shift the page's history window.
+			copy(hist[p][:HistoryLen-1], hist[p][1:])
+			hist[p][HistoryLen-1] = c
+		}
+		if total > 0 {
+			res.FastHitRatio += hits / total
+		}
+		res.Intervals++
+	}
+	res.FastHitRatio /= float64(res.Intervals)
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package kleio
+
+import (
+	"testing"
+)
+
+func TestTierSimValidation(t *testing.T) {
+	p := NewAccessPattern(1, 30)
+	if _, err := TierSim(p, HistoryBased(15), 30, 0, 10); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := TierSim(p, HistoryBased(15), 30, 31, 10); err == nil {
+		t.Fatal("oversized capacity accepted")
+	}
+	if _, err := TierSim(p, HistoryBased(15), 30, 10, 0); err == nil {
+		t.Fatal("zero intervals accepted")
+	}
+	bad := SchedulerFunc(func([]PageHistory) []bool { return nil })
+	if _, err := TierSim(p, bad, 30, 10, 10); err == nil {
+		t.Fatal("wrong-length predictions accepted")
+	}
+}
+
+func TestOracleBeatsHistoryOnPhaseChanges(t *testing.T) {
+	// One third of pages pulse with a period; the oracle anticipates the
+	// phase flips, the history baseline reacts one interval late.
+	const pages, capacity, intervals = 90, 60, 64
+	histRes, err := TierSim(NewAccessPattern(5, pages), HistoryBased(15), pages, capacity, intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewAccessPattern(5, pages)
+	oracleRes, err := TierSim(oracle, NewOracle(oracle), pages, capacity, intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracleRes.FastHitRatio <= histRes.FastHitRatio {
+		t.Fatalf("oracle hit ratio %.3f not > history %.3f",
+			oracleRes.FastHitRatio, histRes.FastHitRatio)
+	}
+	if histRes.FastHitRatio < 0.5 {
+		t.Fatalf("history baseline hit ratio %.3f implausibly low", histRes.FastHitRatio)
+	}
+	if oracleRes.FastHitRatio < 0.9 {
+		t.Fatalf("oracle hit ratio %.3f should be near perfect with capacity for all hot pages",
+			oracleRes.FastHitRatio)
+	}
+}
+
+func TestTinyFastTierLimitsHits(t *testing.T) {
+	const pages = 90
+	p := NewAccessPattern(9, pages)
+	small, err := TierSim(p, NewOracle(p), pages, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewAccessPattern(9, pages)
+	big, err := TierSim(p2, NewOracle(p2), pages, 60, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.FastHitRatio >= big.FastHitRatio {
+		t.Fatalf("5-page tier (%.3f) not worse than 60-page tier (%.3f)",
+			small.FastHitRatio, big.FastHitRatio)
+	}
+}
+
+func TestMigrationsCounted(t *testing.T) {
+	const pages = 30
+	p := NewAccessPattern(3, pages)
+	res, err := TierSim(p, HistoryBased(15), pages, 15, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("periodic pattern produced no migrations")
+	}
+	if res.Intervals != 32 {
+		t.Fatalf("intervals = %d", res.Intervals)
+	}
+}

@@ -1,0 +1,129 @@
+// Package knn implements the k-nearest-neighbours classifier behind the
+// malware detection workload (§7.5: "a kernel driver which uses a KNN
+// classifier to classify user programs as malicious or benign", after
+// Demme et al.'s performance-counter detector).
+//
+// Queries compute real Euclidean distances over the reference database and
+// take a majority vote among the k nearest labels. FLOP accounting feeds
+// the GPU cost model: the evaluation's database of 16,384 reference points
+// with up to 1,024 features per sample (Fig 12) makes brute-force KNN a
+// massively parallel, GPU-friendly kernel.
+package knn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Classifier is an immutable reference database with integer labels.
+type Classifier struct {
+	dim    int
+	points [][]float32
+	labels []int
+	k      int
+}
+
+// New builds a classifier over the given reference points. k is the
+// neighbourhood size (the paper uses 16).
+func New(points [][]float32, labels []int, k int) (*Classifier, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("knn: empty reference set")
+	}
+	if len(points) != len(labels) {
+		return nil, fmt.Errorf("knn: %d points but %d labels", len(points), len(labels))
+	}
+	if k <= 0 || k > len(points) {
+		return nil, fmt.Errorf("knn: k=%d invalid for %d points", k, len(points))
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("knn: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("knn: point %d has %d dims, want %d", i, len(p), dim)
+		}
+	}
+	return &Classifier{dim: dim, points: points, labels: labels, k: k}, nil
+}
+
+// Dim returns the feature dimensionality.
+func (c *Classifier) Dim() int { return c.dim }
+
+// Size returns the reference database size.
+func (c *Classifier) Size() int { return len(c.points) }
+
+// K returns the neighbourhood size.
+func (c *Classifier) K() int { return c.k }
+
+// Classify returns the majority label among the k nearest reference points
+// to q (squared Euclidean distance; the monotone transform preserves
+// neighbour order).
+func (c *Classifier) Classify(q []float32) (int, error) {
+	if len(q) != c.dim {
+		return 0, fmt.Errorf("knn: query has %d dims, want %d", len(q), c.dim)
+	}
+	type nb struct {
+		d     float32
+		label int
+	}
+	// Keep the k best in a slice with insertion; k is small (16).
+	best := make([]nb, 0, c.k)
+	worst := float32(0)
+	for i, p := range c.points {
+		var d float32
+		for j, v := range p {
+			diff := v - q[j]
+			d += diff * diff
+		}
+		if len(best) < c.k {
+			best = append(best, nb{d, c.labels[i]})
+			if d > worst || len(best) == 1 {
+				worst = d
+			}
+			if len(best) == c.k {
+				sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+				worst = best[c.k-1].d
+			}
+			continue
+		}
+		if d >= worst {
+			continue
+		}
+		// Insert in sorted position, dropping the current worst.
+		pos := sort.Search(c.k, func(a int) bool { return best[a].d > d })
+		copy(best[pos+1:], best[pos:c.k-1])
+		best[pos] = nb{d, c.labels[i]}
+		worst = best[c.k-1].d
+	}
+	votes := make(map[int]int)
+	for _, b := range best {
+		votes[b.label]++
+	}
+	winner, winVotes := 0, -1
+	for label, n := range votes {
+		if n > winVotes || (n == winVotes && label < winner) {
+			winner, winVotes = label, n
+		}
+	}
+	return winner, nil
+}
+
+// ClassifyBatch classifies a batch of queries.
+func (c *Classifier) ClassifyBatch(qs [][]float32) ([]int, error) {
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		label, err := c.Classify(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = label
+	}
+	return out, nil
+}
+
+// Flops returns the FLOP count of classifying `queries` samples:
+// 3 FLOPs (sub, mul, add) per reference-point dimension per query.
+func (c *Classifier) Flops(queries int) float64 {
+	return 3 * float64(queries) * float64(len(c.points)) * float64(c.dim)
+}

@@ -1,0 +1,171 @@
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	pts := [][]float32{{1, 2}, {3, 4}}
+	labels := []int{0, 1}
+	cases := []struct {
+		name   string
+		pts    [][]float32
+		labels []int
+		k      int
+	}{
+		{"empty", nil, nil, 1},
+		{"len mismatch", pts, []int{0}, 1},
+		{"k zero", pts, labels, 0},
+		{"k too big", pts, labels, 3},
+		{"dim mismatch", [][]float32{{1, 2}, {3}}, labels, 1},
+		{"zero dim", [][]float32{{}, {}}, labels, 1},
+	}
+	for _, c := range cases {
+		if _, err := New(c.pts, c.labels, c.k); err == nil {
+			t.Errorf("%s: New succeeded, want error", c.name)
+		}
+	}
+	if _, err := New(pts, labels, 2); err != nil {
+		t.Fatalf("valid New failed: %v", err)
+	}
+}
+
+func TestClassifyNearest(t *testing.T) {
+	c, err := New([][]float32{{0, 0}, {10, 10}}, []int{0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Classify([]float32{1, 1}); got != 0 {
+		t.Fatalf("Classify near origin = %d, want 0", got)
+	}
+	if got, _ := c.Classify([]float32{9, 9}); got != 1 {
+		t.Fatalf("Classify near (10,10) = %d, want 1", got)
+	}
+}
+
+func TestClassifyMajorityVote(t *testing.T) {
+	// Three points of label 1 near the query, two closer of label 0? No:
+	// with k=3, two label-1 points at distance ~1 and one label-0 at 0
+	// votes 2:1 for label 1.
+	pts := [][]float32{{0, 0}, {1, 0}, {0, 1}, {50, 50}}
+	labels := []int{0, 1, 1, 0}
+	c, _ := New(pts, labels, 3)
+	if got, _ := c.Classify([]float32{0, 0}); got != 1 {
+		t.Fatalf("majority vote = %d, want 1", got)
+	}
+}
+
+func TestClassifyDimMismatch(t *testing.T) {
+	c, _ := New([][]float32{{1, 2}}, []int{0}, 1)
+	if _, err := c.Classify([]float32{1}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestClassifyBatch(t *testing.T) {
+	c, _ := New([][]float32{{0}, {10}}, []int{7, 9}, 1)
+	got, err := c.ClassifyBatch([][]float32{{1}, {9}, {-5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{7, 9, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch = %v, want %v", got, want)
+		}
+	}
+	if _, err := c.ClassifyBatch([][]float32{{1, 2}}); err == nil {
+		t.Fatal("batch dim mismatch accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c, _ := New([][]float32{{1, 2, 3}, {4, 5, 6}}, []int{0, 1}, 2)
+	if c.Dim() != 3 || c.Size() != 2 || c.K() != 2 {
+		t.Fatalf("Dim/Size/K = %d/%d/%d", c.Dim(), c.Size(), c.K())
+	}
+}
+
+func TestFlops(t *testing.T) {
+	c, _ := New([][]float32{{1, 2}, {3, 4}}, []int{0, 1}, 1)
+	if got := c.Flops(10); got != 3*10*2*2 {
+		t.Fatalf("Flops(10) = %v, want 120", got)
+	}
+}
+
+// Property: the classifier agrees with a brute-force sort-based oracle.
+func TestQuickAgreesWithOracle(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 5
+		dim := rng.Intn(4) + 1
+		pts := make([][]float32, n)
+		labels := make([]int, n)
+		for i := range pts {
+			p := make([]float32, dim)
+			for j := range p {
+				p[j] = rng.Float32() * 10
+			}
+			pts[i] = p
+			labels[i] = rng.Intn(3)
+		}
+		k := int(kRaw)%n + 1
+		c, err := New(pts, labels, k)
+		if err != nil {
+			return false
+		}
+		q := make([]float32, dim)
+		for j := range q {
+			q[j] = rng.Float32() * 10
+		}
+
+		// Oracle: full sort by distance, majority among first k with
+		// ties resolved identically (stable distance sort + lowest label).
+		type nb struct {
+			d     float32
+			idx   int
+			label int
+		}
+		nbs := make([]nb, n)
+		for i, p := range pts {
+			var d float32
+			for j := range p {
+				diff := p[j] - q[j]
+				d += diff * diff
+			}
+			nbs[i] = nb{d, i, labels[i]}
+		}
+		sort.SliceStable(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+		votes := map[int]int{}
+		for _, b := range nbs[:k] {
+			votes[b.label]++
+		}
+		winner, winVotes := 0, -1
+		for label, v := range votes {
+			if v > winVotes || (v == winVotes && label < winner) {
+				winner, winVotes = label, v
+			}
+		}
+
+		got, err := c.Classify(q)
+		if err != nil {
+			return false
+		}
+		// Tie-breaking on equal distances at the k-boundary can
+		// legitimately differ; accept when vote counts allow either.
+		if got == winner {
+			return true
+		}
+		// Check boundary tie: distance of k-th equals (k+1)-th.
+		if k < n && nbs[k-1].d == nbs[k].d {
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

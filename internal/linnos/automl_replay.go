@@ -1,0 +1,116 @@
+package linnos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lakego/internal/storage"
+	"lakego/internal/trace"
+)
+
+// replayWithMonitor is the modulated replay loop: per read, the monitor
+// decides between ML-driven reissue (CPU model path) and the kernel default.
+func replayWithMonitor(pred *Predictor, w Workload, cfg ReplayConfig, monitor *BenefitMonitor) (Result, error) {
+	if pred == nil {
+		return Result{}, fmt.Errorf("linnos: automl replay requires a predictor")
+	}
+	if cfg.InferLanes <= 0 {
+		cfg.InferLanes = 1
+	}
+	if cfg.ReissuePenalty <= 0 {
+		cfg.ReissuePenalty = 5 * time.Microsecond
+	}
+	nDev := len(w.PerDevice)
+	if nDev < 2 {
+		return Result{}, fmt.Errorf("linnos: workload needs >= 2 devices, got %d", nDev)
+	}
+	devs := make([]*storage.Device, nDev)
+	lanes := make([][]time.Duration, nDev)
+	for i := range devs {
+		devs[i] = storage.NewDevice(storage.DefaultConfig(fmt.Sprintf("nvme%d", i), cfg.Seed+int64(i)))
+		lanes[i] = make([]time.Duration, cfg.InferLanes)
+	}
+	array, err := storage.NewArray(devs...)
+	if err != nil {
+		return Result{}, err
+	}
+
+	type event struct {
+		req trace.Request
+		dev int
+	}
+	var events []event
+	for d, reqs := range w.PerDevice {
+		for _, r := range reqs {
+			events = append(events, event{req: r, dev: d})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].req.Arrival < events[j].req.Arrival })
+
+	var (
+		readLats  []time.Duration
+		reissued  int
+		cpuInfers int
+	)
+	for _, ev := range events {
+		now := ev.req.Arrival
+		dev := devs[ev.dev]
+		if ev.req.Write {
+			dev.Submit(now, ev.req.Size, true)
+			continue
+		}
+		if !monitor.NextUseML() {
+			c := dev.Submit(now, ev.req.Size, false)
+			lat := c.Latency
+			readLats = append(readLats, lat)
+			monitor.Record(false, lat)
+			continue
+		}
+		// ML path: per-I/O CPU inference on the issuing core's lane.
+		x := DeviceFeatures(dev, now)
+		lane := 0
+		for i := 1; i < len(lanes[ev.dev]); i++ {
+			if lanes[ev.dev][i] < lanes[ev.dev][lane] {
+				lane = i
+			}
+		}
+		start := now
+		if lanes[ev.dev][lane] > start {
+			start = lanes[ev.dev][lane]
+		}
+		done := start + pred.Kind().CPUInferCost()
+		lanes[ev.dev][lane] = done
+		cpuInfers++
+		adder := done - now
+		logits := pred.Net().Forward(x)
+		target := dev
+		if logits[1] > logits[0] {
+			target = array.ReissueTarget(dev)
+			adder += cfg.ReissuePenalty
+			reissued++
+		}
+		c := target.Submit(now+adder, ev.req.Size, false)
+		lat := c.FinishAt - now
+		readLats = append(readLats, lat)
+		monitor.Record(true, lat)
+	}
+
+	res := Result{
+		Workload: w.Name,
+		Config:   fmt.Sprintf("%s auto-ml", pred.Kind()),
+		Reads:    len(readLats),
+		Reissued: reissued, CPUInferences: cpuInfers,
+	}
+	if len(readLats) > 0 {
+		var sum time.Duration
+		for _, l := range readLats {
+			sum += l
+		}
+		res.AvgRead = sum / time.Duration(len(readLats))
+		sorted := append([]time.Duration(nil), readLats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		res.P95Read = sorted[len(sorted)*95/100]
+	}
+	return res, nil
+}

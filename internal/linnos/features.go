@@ -1,0 +1,65 @@
+// Package linnos reproduces the paper's end-to-end I/O latency prediction
+// study (§7.1): LinnOS's light neural network ported to a LAKE-powered
+// kernel module, the augmented +1/+2 layer variants, batch-vs-CPU
+// profitability (Fig 8), and full trace replays against the NVMe array with
+// reissue-on-slow (Fig 7).
+package linnos
+
+import (
+	"time"
+
+	"lakego/internal/storage"
+)
+
+// InputWidth is the LinnOS feature vector width: the number of pending
+// I/Os encoded as 3 decimal digits plus the completion latency of the 4
+// most recent I/Os, each as 7 decimal digits (3 + 4*7 = 31).
+const InputWidth = 31
+
+const (
+	pendingDigits = 3
+	latencyCount  = 4
+	latencyDigits = 7
+)
+
+// FeatureVector encodes device state at I/O issue the way LinnOS feeds its
+// network: decimal-digit encodings of the pending-I/O count and recent
+// latencies, most recent latency first.
+func FeatureVector(pending int, recent []time.Duration) []float32 {
+	v := make([]float32, InputWidth)
+	encodeDigits(v[:pendingDigits], int64(pending))
+	for i := 0; i < latencyCount; i++ {
+		var lat int64
+		if i < len(recent) {
+			lat = recent[i].Microseconds()
+		}
+		off := pendingDigits + i*latencyDigits
+		encodeDigits(v[off:off+latencyDigits], lat)
+	}
+	return v
+}
+
+// encodeDigits writes v's decimal digits most-significant first, saturating
+// at the field width.
+func encodeDigits(dst []float32, v int64) {
+	if v < 0 {
+		v = 0
+	}
+	max := int64(1)
+	for range dst {
+		max *= 10
+	}
+	if v >= max {
+		v = max - 1
+	}
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = float32(v % 10)
+		v /= 10
+	}
+}
+
+// DeviceFeatures builds the feature vector from a live device's state, the
+// capture sites of Listings 4 and 5.
+func DeviceFeatures(d *storage.Device, now time.Duration) []float32 {
+	return FeatureVector(d.Pending(now), d.RecentLatencies())
+}

@@ -1,0 +1,176 @@
+// Package lockfree provides the lock-free hash table that backs feature
+// capture in the LAKE feature registry (§5.3: "The register relies on
+// lock-free data structures to enable instrumentation calls on arbitrary
+// kernel threads without needing additional locking disciplines").
+//
+// The table is a fixed-capacity open-addressing map from string feature keys
+// to immutable byte-slice values. Readers and writers never block: key slots
+// are claimed with a single CAS, value updates publish a fresh slice via
+// atomic pointer swap, and numeric increments retry a CAS loop over the
+// encoded value. Fixed capacity is the right trade-off here because the set
+// of feature keys is declared up front by the registry schema.
+package lockfree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Map is a lock-free hash map from string keys to []byte values.
+// All methods are safe for concurrent use. Values returned by Load must be
+// treated as immutable.
+type Map struct {
+	mask  uint64
+	slots []slot
+	count atomic.Int64
+}
+
+type slot struct {
+	key atomic.Pointer[string]
+	val atomic.Pointer[[]byte]
+}
+
+// NewMap returns a map that can hold up to capacity distinct keys.
+// The underlying table is sized at twice the capacity (rounded up to a power
+// of two) to keep probe chains short.
+func NewMap(capacity int) *Map {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("lockfree: capacity %d must be positive", capacity))
+	}
+	n := 2
+	for n < capacity*2 {
+		n <<= 1
+	}
+	return &Map{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// fnv1a matches hash/fnv but avoids the allocation of the hash.Hash object
+// on the capture hot path.
+func fnv1a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// findOrInsert locates the slot for key, claiming an empty slot if needed.
+// Returns nil when the table is full of other keys.
+func (m *Map) findOrInsert(key string) *slot {
+	h := fnv1a(key)
+	for i := uint64(0); i <= m.mask; i++ {
+		s := &m.slots[(h+i)&m.mask]
+		k := s.key.Load()
+		if k == nil {
+			kc := key // copy so the stored pointer does not alias caller memory
+			if s.key.CompareAndSwap(nil, &kc) {
+				m.count.Add(1)
+				return s
+			}
+			k = s.key.Load()
+		}
+		if k != nil && *k == key {
+			return s
+		}
+	}
+	return nil
+}
+
+// find locates the slot for key without inserting.
+func (m *Map) find(key string) *slot {
+	h := fnv1a(key)
+	for i := uint64(0); i <= m.mask; i++ {
+		s := &m.slots[(h+i)&m.mask]
+		k := s.key.Load()
+		if k == nil {
+			return nil
+		}
+		if *k == key {
+			return s
+		}
+	}
+	return nil
+}
+
+// Store sets key to a copy of val. It reports false when the table is full.
+func (m *Map) Store(key string, val []byte) bool {
+	s := m.findOrInsert(key)
+	if s == nil {
+		return false
+	}
+	v := make([]byte, len(val))
+	copy(v, val)
+	s.val.Store(&v)
+	return true
+}
+
+// Load returns the value for key. The returned slice must not be modified.
+func (m *Map) Load(key string) ([]byte, bool) {
+	s := m.find(key)
+	if s == nil {
+		return nil, false
+	}
+	v := s.val.Load()
+	if v == nil {
+		return nil, false
+	}
+	return *v, true
+}
+
+// Add interprets the value for key as a little-endian int64, adds delta to
+// it (missing values count as zero), and returns the new total. It reports
+// false when the table is full. This implements capture_feature_incr.
+func (m *Map) Add(key string, delta int64) (int64, bool) {
+	s := m.findOrInsert(key)
+	if s == nil {
+		return 0, false
+	}
+	for {
+		old := s.val.Load()
+		var cur int64
+		if old != nil && len(*old) >= 8 {
+			cur = int64(binary.LittleEndian.Uint64(*old))
+		}
+		next := cur + delta
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, uint64(next))
+		if s.val.CompareAndSwap(old, &buf) {
+			return next, true
+		}
+	}
+}
+
+// Len returns the number of distinct keys ever stored.
+func (m *Map) Len() int { return int(m.count.Load()) }
+
+// Range calls fn for every key with a non-nil value until fn returns false.
+// It observes a weakly consistent snapshot, which is all the registry needs:
+// a vector commit that races with a capture may or may not see that capture,
+// exactly as in the paper's asynchronous capture model.
+func (m *Map) Range(fn func(key string, val []byte) bool) {
+	for i := range m.slots {
+		s := &m.slots[i]
+		k := s.key.Load()
+		if k == nil {
+			continue
+		}
+		v := s.val.Load()
+		if v == nil {
+			continue
+		}
+		if !fn(*k, *v) {
+			return
+		}
+	}
+}
+
+// Reset clears all values but keeps the key set, so a new feature vector
+// capture starts from a clean slate without re-claiming slots.
+func (m *Map) Reset() {
+	for i := range m.slots {
+		m.slots[i].val.Store(nil)
+	}
+}

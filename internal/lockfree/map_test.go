@@ -1,0 +1,215 @@
+package lockfree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreLoad(t *testing.T) {
+	m := NewMap(8)
+	if !m.Store("lat", []byte{1, 2, 3}) {
+		t.Fatal("Store failed")
+	}
+	got, ok := m.Load("lat")
+	if !ok || len(got) != 3 || got[0] != 1 {
+		t.Fatalf("Load = %v, %v; want [1 2 3], true", got, ok)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	m := NewMap(8)
+	if _, ok := m.Load("nope"); ok {
+		t.Fatal("Load of missing key reported ok")
+	}
+}
+
+func TestStoreCopiesValue(t *testing.T) {
+	m := NewMap(4)
+	src := []byte{9}
+	m.Store("k", src)
+	src[0] = 0
+	got, _ := m.Load("k")
+	if got[0] != 9 {
+		t.Fatal("Store aliased caller memory")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := NewMap(4)
+	m.Store("k", []byte{1})
+	m.Store("k", []byte{2})
+	got, _ := m.Load("k")
+	if got[0] != 2 {
+		t.Fatalf("Load = %v, want [2]", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestAddFromZero(t *testing.T) {
+	m := NewMap(4)
+	v, ok := m.Add("pend_ios", 1)
+	if !ok || v != 1 {
+		t.Fatalf("Add = %d, %v; want 1, true", v, ok)
+	}
+	v, _ = m.Add("pend_ios", -3)
+	if v != -2 {
+		t.Fatalf("Add = %d, want -2", v)
+	}
+	raw, _ := m.Load("pend_ios")
+	if got := int64(binary.LittleEndian.Uint64(raw)); got != -2 {
+		t.Fatalf("stored value = %d, want -2", got)
+	}
+}
+
+func TestTableFull(t *testing.T) {
+	m := NewMap(1) // table size 2
+	m.Store("a", nil)
+	m.Store("b", nil)
+	if m.Store("c", []byte{1}) {
+		t.Fatal("Store succeeded on full table")
+	}
+	if _, ok := m.Add("d", 1); ok {
+		t.Fatal("Add succeeded on full table")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMap(8)
+	m.Store("a", []byte{1})
+	m.Add("b", 5)
+	m.Reset()
+	if _, ok := m.Load("a"); ok {
+		t.Fatal("value survived Reset")
+	}
+	// Keys survive; a fresh Add starts from zero.
+	if v, _ := m.Add("b", 2); v != 2 {
+		t.Fatalf("Add after Reset = %d, want 2", v)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := NewMap(8)
+	want := map[string]byte{"x": 1, "y": 2, "z": 3}
+	for k, v := range want {
+		m.Store(k, []byte{v})
+	}
+	seen := map[string]byte{}
+	m.Range(func(k string, v []byte) bool {
+		seen[k] = v[0]
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("Range saw %d keys, want %d", len(seen), len(want))
+	}
+	for k, v := range want {
+		if seen[k] != v {
+			t.Errorf("Range[%q] = %d, want %d", k, seen[k], v)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := NewMap(8)
+	m.Store("a", []byte{1})
+	m.Store("b", []byte{1})
+	calls := 0
+	m.Range(func(string, []byte) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("Range called fn %d times after early stop, want 1", calls)
+	}
+}
+
+// Concurrent increments from many goroutines must sum exactly: this is the
+// capture_feature_incr path from Listing 4/5 of the paper (I/O issue and
+// completion racing on pend_ios).
+func TestConcurrentAddExact(t *testing.T) {
+	m := NewMap(4)
+	const workers, per = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if w%2 == 0 {
+					m.Add("pend_ios", 1)
+				} else {
+					m.Add("pend_ios", -1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	raw, _ := m.Load("pend_ios")
+	if got := int64(binary.LittleEndian.Uint64(raw)); got != 0 {
+		t.Fatalf("final counter = %d, want 0", got)
+	}
+}
+
+// Concurrent inserts of distinct keys must each land exactly once.
+func TestConcurrentDistinctInserts(t *testing.T) {
+	const n = 64
+	m := NewMap(n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Store(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+		}(i)
+	}
+	wg.Wait()
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Load(fmt.Sprintf("key-%d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("key-%d = %v, %v", i, v, ok)
+		}
+	}
+}
+
+// Property: the map agrees with a plain Go map under sequential operation.
+func TestQuickAgreesWithMap(t *testing.T) {
+	type op struct {
+		Key   uint8
+		Val   uint8
+		IsAdd bool
+	}
+	f := func(ops []op) bool {
+		m := NewMap(256)
+		ref := map[string]int64{}
+		refSet := map[string][]byte{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%16)
+			if o.IsAdd {
+				got, ok := m.Add(k, int64(o.Val))
+				ref[k] += int64(o.Val)
+				delete(refSet, k)
+				if !ok || got != ref[k] {
+					return false
+				}
+			} else {
+				m.Store(k, []byte{o.Val})
+				refSet[k] = []byte{o.Val}
+				ref[k] = 0
+			}
+		}
+		for k, v := range refSet {
+			got, ok := m.Load(k)
+			if !ok || got[0] != v[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package lstm implements the stacked LSTM used by Kleio's page warmth
+// classifier (§7.2: "Kleio ... implements a LSTM-based classifier", a model
+// "with two LSTM layers" built in TensorFlow in the original).
+//
+// The cell is the standard formulation: input/forget/output gates plus a
+// candidate update, sigmoid/tanh nonlinearities, carried cell and hidden
+// state. Inference is real float32 arithmetic; FLOP accounting feeds the GPU
+// cost model when the classifier is remoted through LAKE's high-level API.
+package lstm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Cell is one LSTM layer. Gate weight matrices are stored row-major, with
+// the four gates (input, forget, candidate, output) concatenated:
+// Wx is [4*Hidden x In], Wh is [4*Hidden x Hidden], B is [4*Hidden].
+type Cell struct {
+	In, Hidden int
+	Wx, Wh, B  []float32
+}
+
+// Model is a stack of LSTM layers followed by a dense classification head.
+type Model struct {
+	Cells []*Cell
+	// HeadW is [Classes x Hidden], HeadB is [Classes].
+	HeadW   []float32
+	HeadB   []float32
+	Classes int
+}
+
+// New builds a model with deterministic random initialization: input width,
+// per-layer hidden sizes, and the number of output classes. Kleio's page
+// warmth model is New(seed, inputWidth, []int{h, h}, 2).
+func New(seed int64, in int, hidden []int, classes int) *Model {
+	if in <= 0 || len(hidden) == 0 || classes <= 0 {
+		panic(fmt.Sprintf("lstm: invalid shape in=%d hidden=%v classes=%d", in, hidden, classes))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{Classes: classes}
+	prev := in
+	for _, h := range hidden {
+		if h <= 0 {
+			panic("lstm: hidden size must be positive")
+		}
+		c := &Cell{
+			In:     prev,
+			Hidden: h,
+			Wx:     make([]float32, 4*h*prev),
+			Wh:     make([]float32, 4*h*h),
+			B:      make([]float32, 4*h),
+		}
+		scaleX := float32(1 / math.Sqrt(float64(prev)))
+		scaleH := float32(1 / math.Sqrt(float64(h)))
+		for i := range c.Wx {
+			c.Wx[i] = float32(rng.NormFloat64()) * scaleX
+		}
+		for i := range c.Wh {
+			c.Wh[i] = float32(rng.NormFloat64()) * scaleH
+		}
+		// Forget-gate bias starts at 1, the standard trick for gradient flow;
+		// kept for fidelity even though this reproduction only infers.
+		for i := h; i < 2*h; i++ {
+			c.B[i] = 1
+		}
+		m.Cells = append(m.Cells, c)
+		prev = h
+	}
+	m.HeadW = make([]float32, classes*prev)
+	m.HeadB = make([]float32, classes)
+	scale := float32(1 / math.Sqrt(float64(prev)))
+	for i := range m.HeadW {
+		m.HeadW[i] = float32(rng.NormFloat64()) * scale
+	}
+	return m
+}
+
+// InputSize returns the per-step input width.
+func (m *Model) InputSize() int { return m.Cells[0].In }
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+func tanh32(x float32) float32 {
+	return float32(math.Tanh(float64(x)))
+}
+
+// step advances the cell one timestep. h and c are updated in place.
+func (c *Cell) step(x, h, cs []float32) {
+	hsz := c.Hidden
+	gates := make([]float32, 4*hsz)
+	for g := 0; g < 4*hsz; g++ {
+		sum := c.B[g]
+		rowX := c.Wx[g*c.In : (g+1)*c.In]
+		for i, w := range rowX {
+			sum += w * x[i]
+		}
+		rowH := c.Wh[g*hsz : (g+1)*hsz]
+		for i, w := range rowH {
+			sum += w * h[i]
+		}
+		gates[g] = sum
+	}
+	for j := 0; j < hsz; j++ {
+		in := sigmoid(gates[j])
+		forget := sigmoid(gates[hsz+j])
+		cand := tanh32(gates[2*hsz+j])
+		out := sigmoid(gates[3*hsz+j])
+		cs[j] = forget*cs[j] + in*cand
+		h[j] = out * tanh32(cs[j])
+	}
+}
+
+// Forward runs the model over a sequence of input vectors and returns the
+// class logits from the final timestep's top-layer hidden state.
+func (m *Model) Forward(seq [][]float32) []float32 {
+	if len(seq) == 0 {
+		panic("lstm: empty sequence")
+	}
+	hs := make([][]float32, len(m.Cells))
+	cs := make([][]float32, len(m.Cells))
+	for i, c := range m.Cells {
+		hs[i] = make([]float32, c.Hidden)
+		cs[i] = make([]float32, c.Hidden)
+	}
+	for _, x := range seq {
+		if len(x) != m.InputSize() {
+			panic(fmt.Sprintf("lstm: input width %d, want %d", len(x), m.InputSize()))
+		}
+		cur := x
+		for i, c := range m.Cells {
+			c.step(cur, hs[i], cs[i])
+			cur = hs[i]
+		}
+	}
+	top := hs[len(hs)-1]
+	logits := make([]float32, m.Classes)
+	hsz := len(top)
+	for k := 0; k < m.Classes; k++ {
+		sum := m.HeadB[k]
+		row := m.HeadW[k*hsz : (k+1)*hsz]
+		for i, w := range row {
+			sum += w * top[i]
+		}
+		logits[k] = sum
+	}
+	return logits
+}
+
+// Predict returns the argmax class for a sequence.
+func (m *Model) Predict(seq [][]float32) int {
+	logits := m.Forward(seq)
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// FlopsPerStep returns the multiply-accumulate FLOPs of one timestep across
+// all layers (2 per weight), used by the GPU cost model.
+func (m *Model) FlopsPerStep() float64 {
+	var f float64
+	for _, c := range m.Cells {
+		f += 2 * float64(len(c.Wx)+len(c.Wh))
+	}
+	return f
+}
+
+// Flops returns the FLOPs of a full forward pass over steps timesteps plus
+// the classification head.
+func (m *Model) Flops(steps int) float64 {
+	return m.FlopsPerStep()*float64(steps) + 2*float64(len(m.HeadW))
+}

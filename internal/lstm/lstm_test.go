@@ -1,0 +1,155 @@
+package lstm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	m := New(1, 8, []int{16, 16}, 2)
+	if m.InputSize() != 8 {
+		t.Fatalf("InputSize = %d, want 8", m.InputSize())
+	}
+	if len(m.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(m.Cells))
+	}
+	if m.Cells[1].In != 16 {
+		t.Fatalf("second cell input = %d, want 16", m.Cells[1].In)
+	}
+	if len(m.HeadW) != 2*16 {
+		t.Fatalf("head weights = %d, want 32", len(m.HeadW))
+	}
+}
+
+func TestForgetGateBiasInit(t *testing.T) {
+	m := New(1, 4, []int{8}, 2)
+	c := m.Cells[0]
+	for i := 8; i < 16; i++ {
+		if c.B[i] != 1 {
+			t.Fatalf("forget bias[%d] = %v, want 1", i, c.B[i])
+		}
+	}
+	if c.B[0] != 0 {
+		t.Fatalf("input-gate bias = %v, want 0", c.B[0])
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, b := New(5, 4, []int{8}, 2), New(5, 4, []int{8}, 2)
+	for i := range a.Cells[0].Wx {
+		if a.Cells[0].Wx[i] != b.Cells[0].Wx[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+func TestForwardDeterministicAndBounded(t *testing.T) {
+	m := New(2, 4, []int{8, 8}, 2)
+	seq := [][]float32{{1, 0, -1, 0.5}, {0.2, 0.4, 0.6, 0.8}, {0, 0, 0, 0}}
+	a := m.Forward(seq)
+	b := m.Forward(seq)
+	if len(a) != 2 {
+		t.Fatalf("logits = %d, want 2", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Forward not deterministic")
+		}
+		if math.IsNaN(float64(a[i])) || math.IsInf(float64(a[i]), 0) {
+			t.Fatalf("logit %d = %v", i, a[i])
+		}
+	}
+}
+
+func TestStateCarriesAcrossTimesteps(t *testing.T) {
+	m := New(3, 2, []int{8}, 2)
+	x := []float32{1, -1}
+	short := m.Forward([][]float32{x})
+	long := m.Forward([][]float32{x, x, x, x})
+	same := true
+	for i := range short {
+		if short[i] != long[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("longer sequence produced identical logits: no recurrence")
+	}
+}
+
+func TestHiddenStateIsBounded(t *testing.T) {
+	// h = o * tanh(c) is bounded in (-1, 1) regardless of input magnitude.
+	m := New(4, 2, []int{6}, 2)
+	h := make([]float32, 6)
+	c := make([]float32, 6)
+	for step := 0; step < 50; step++ {
+		m.Cells[0].step([]float32{1000, -1000}, h, c)
+		for _, v := range h {
+			// Saturation can hit exactly ±1 in float32.
+			if v < -1 || v > 1 {
+				t.Fatalf("hidden state %v escaped [-1,1]", v)
+			}
+		}
+	}
+}
+
+func TestForwardPanics(t *testing.T) {
+	m := New(1, 4, []int{8}, 2)
+	for name, fn := range map[string]func(){
+		"empty sequence": func() { m.Forward(nil) },
+		"bad width":      func() { m.Forward([][]float32{{1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPredictReturnsValidClass(t *testing.T) {
+	m := New(9, 4, []int{8}, 3)
+	got := m.Predict([][]float32{{0.1, 0.2, 0.3, 0.4}})
+	if got < 0 || got >= 3 {
+		t.Fatalf("Predict = %d, want in [0,3)", got)
+	}
+}
+
+func TestFlops(t *testing.T) {
+	m := New(1, 4, []int{8}, 2)
+	// Per step: 2*(4*8*4 + 4*8*8) = 2*(128+256) = 768.
+	if got := m.FlopsPerStep(); got != 768 {
+		t.Fatalf("FlopsPerStep = %v, want 768", got)
+	}
+	// Head: 2*2*8 = 32.
+	if got := m.Flops(10); got != 768*10+32 {
+		t.Fatalf("Flops(10) = %v, want %v", got, 768*10+32)
+	}
+}
+
+// Property: logits stay finite for any bounded input sequence.
+func TestQuickForwardFinite(t *testing.T) {
+	m := New(11, 3, []int{8}, 2)
+	f := func(raw [][3]int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		seq := make([][]float32, len(raw))
+		for i, r := range raw {
+			seq[i] = []float32{float32(r[0]) / 32, float32(r[1]) / 32, float32(r[2]) / 32}
+		}
+		for _, v := range m.Forward(seq) {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+package lstm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Training via backpropagation through time. Kleio trains its LSTM offline
+// in TensorFlow; this file provides the equivalent capability natively so
+// the page-warmth experiments can use a genuinely learned model rather than
+// fixed weights.
+
+// gates holds one timestep's post-activation gate values for one cell.
+type gates struct {
+	i, f, g, o []float32
+}
+
+// trace records everything the backward pass needs for one layer.
+type layerTrace struct {
+	// xs[t] is the layer's input at step t; hs[t], cs[t] the state AFTER
+	// step t. hPrev/cPrev index t-1 with zeros at t=0.
+	xs, hs, cs [][]float32
+	gt         []gates
+}
+
+// stepRecord advances the cell one timestep like step, returning the new
+// h and c (freshly allocated) and the gate activations.
+func (c *Cell) stepRecord(x, hPrev, cPrev []float32) (h, cs []float32, g gates) {
+	hsz := c.Hidden
+	pre := make([]float32, 4*hsz)
+	for k := 0; k < 4*hsz; k++ {
+		sum := c.B[k]
+		rowX := c.Wx[k*c.In : (k+1)*c.In]
+		for i, w := range rowX {
+			sum += w * x[i]
+		}
+		rowH := c.Wh[k*hsz : (k+1)*hsz]
+		for i, w := range rowH {
+			sum += w * hPrev[i]
+		}
+		pre[k] = sum
+	}
+	g = gates{
+		i: make([]float32, hsz), f: make([]float32, hsz),
+		g: make([]float32, hsz), o: make([]float32, hsz),
+	}
+	h = make([]float32, hsz)
+	cs = make([]float32, hsz)
+	for j := 0; j < hsz; j++ {
+		g.i[j] = sigmoid(pre[j])
+		g.f[j] = sigmoid(pre[hsz+j])
+		g.g[j] = tanh32(pre[2*hsz+j])
+		g.o[j] = sigmoid(pre[3*hsz+j])
+		cs[j] = g.f[j]*cPrev[j] + g.i[j]*g.g[j]
+		h[j] = g.o[j] * tanh32(cs[j])
+	}
+	return h, cs, g
+}
+
+// cellGrads accumulates one cell's parameter gradients.
+type cellGrads struct {
+	wx, wh, b []float32
+}
+
+// modelGrads accumulates the whole model's gradients.
+type modelGrads struct {
+	cells []cellGrads
+	headW []float32
+	headB []float32
+}
+
+func newGrads(m *Model) *modelGrads {
+	g := &modelGrads{
+		headW: make([]float32, len(m.HeadW)),
+		headB: make([]float32, len(m.HeadB)),
+	}
+	for _, c := range m.Cells {
+		g.cells = append(g.cells, cellGrads{
+			wx: make([]float32, len(c.Wx)),
+			wh: make([]float32, len(c.Wh)),
+			b:  make([]float32, len(c.B)),
+		})
+	}
+	return g
+}
+
+// forwardTrace runs the model over seq, recording per-layer traces, and
+// returns the logits.
+func (m *Model) forwardTrace(seq [][]float32) ([]layerTrace, []float32) {
+	traces := make([]layerTrace, len(m.Cells))
+	hPrev := make([][]float32, len(m.Cells))
+	cPrev := make([][]float32, len(m.Cells))
+	for l, c := range m.Cells {
+		hPrev[l] = make([]float32, c.Hidden)
+		cPrev[l] = make([]float32, c.Hidden)
+	}
+	for _, x := range seq {
+		cur := x
+		for l, c := range m.Cells {
+			h, cs, g := c.stepRecord(cur, hPrev[l], cPrev[l])
+			traces[l].xs = append(traces[l].xs, cur)
+			traces[l].hs = append(traces[l].hs, h)
+			traces[l].cs = append(traces[l].cs, cs)
+			traces[l].gt = append(traces[l].gt, g)
+			hPrev[l], cPrev[l] = h, cs
+			cur = h
+		}
+	}
+	top := hPrev[len(m.Cells)-1]
+	logits := make([]float32, m.Classes)
+	hsz := len(top)
+	for k := 0; k < m.Classes; k++ {
+		sum := m.HeadB[k]
+		row := m.HeadW[k*hsz : (k+1)*hsz]
+		for i, w := range row {
+			sum += w * top[i]
+		}
+		logits[k] = sum
+	}
+	return traces, logits
+}
+
+// backward accumulates gradients for one (sequence, label) example given
+// its forward traces, returning the example's loss.
+func (m *Model) backward(traces []layerTrace, logits []float32, label int, g *modelGrads) float64 {
+	// Softmax cross-entropy at the head.
+	probs := softmax(logits)
+	loss := -math.Log(math.Max(float64(probs[label]), 1e-12))
+	nl := len(m.Cells)
+	T := len(traces[0].hs)
+	topH := traces[nl-1].hs[T-1]
+	hsz := len(topH)
+
+	dLogits := make([]float32, len(probs))
+	copy(dLogits, probs)
+	dLogits[label] -= 1
+	// Head gradients and the gradient flowing into the top layer's final h.
+	dhFinal := make([]float32, hsz)
+	for k := 0; k < m.Classes; k++ {
+		d := dLogits[k]
+		g.headB[k] += d
+		row := m.HeadW[k*hsz : (k+1)*hsz]
+		grow := g.headW[k*hsz : (k+1)*hsz]
+		for i := range row {
+			grow[i] += d * topH[i]
+			dhFinal[i] += d * row[i]
+		}
+	}
+
+	// dhNext[l] / dcNext[l]: gradients w.r.t. layer l's h/c flowing back
+	// from step t+1. dxFromAbove[t] carries gradient into layer l's output
+	// at step t from layer l+1's input.
+	dxFromAbove := make([][]float32, T)
+	dxFromAbove[T-1] = dhFinal
+	for i := T - 2; i >= 0; i-- {
+		dxFromAbove[i] = make([]float32, hsz)
+	}
+
+	for l := nl - 1; l >= 0; l-- {
+		c := m.Cells[l]
+		tr := traces[l]
+		hsz := c.Hidden
+		dhNext := make([]float32, hsz)
+		dcNext := make([]float32, hsz)
+		// Gradient to pass down to layer l-1's outputs per step.
+		var dxBelow [][]float32
+		if l > 0 {
+			dxBelow = make([][]float32, T)
+			for t := range dxBelow {
+				dxBelow[t] = make([]float32, m.Cells[l-1].Hidden)
+			}
+		}
+		for t := T - 1; t >= 0; t-- {
+			gt := tr.gt[t]
+			cT := tr.cs[t]
+			var cPrev []float32
+			if t > 0 {
+				cPrev = tr.cs[t-1]
+			} else {
+				cPrev = make([]float32, hsz)
+			}
+			var hPrev []float32
+			if t > 0 {
+				hPrev = tr.hs[t-1]
+			} else {
+				hPrev = make([]float32, hsz)
+			}
+			dh := make([]float32, hsz)
+			copy(dh, dhNext)
+			for j := range dh {
+				dh[j] += dxFromAbove[t][j]
+			}
+			dPre := make([]float32, 4*hsz)
+			dc := make([]float32, hsz)
+			for j := 0; j < hsz; j++ {
+				tc := tanh32(cT[j])
+				do := dh[j] * tc
+				dc[j] = dcNext[j] + dh[j]*gt.o[j]*(1-tc*tc)
+				di := dc[j] * gt.g[j]
+				df := dc[j] * cPrev[j]
+				dg := dc[j] * gt.i[j]
+				dPre[j] = di * gt.i[j] * (1 - gt.i[j])
+				dPre[hsz+j] = df * gt.f[j] * (1 - gt.f[j])
+				dPre[2*hsz+j] = dg * (1 - gt.g[j]*gt.g[j])
+				dPre[3*hsz+j] = do * gt.o[j] * (1 - gt.o[j])
+			}
+			// Parameter grads and input/recurrent grads.
+			x := tr.xs[t]
+			cg := &g.cells[l]
+			dhPrev := make([]float32, hsz)
+			for k := 0; k < 4*hsz; k++ {
+				d := dPre[k]
+				if d == 0 {
+					continue
+				}
+				cg.b[k] += d
+				rowX := cg.wx[k*c.In : (k+1)*c.In]
+				wRowX := c.Wx[k*c.In : (k+1)*c.In]
+				for i := range rowX {
+					rowX[i] += d * x[i]
+					if l > 0 {
+						dxBelow[t][i] += d * wRowX[i]
+					}
+				}
+				rowH := cg.wh[k*hsz : (k+1)*hsz]
+				wRowH := c.Wh[k*hsz : (k+1)*hsz]
+				for i := range rowH {
+					rowH[i] += d * hPrev[i]
+					dhPrev[i] += d * wRowH[i]
+				}
+			}
+			dhNext = dhPrev
+			for j := 0; j < hsz; j++ {
+				dcNext[j] = dc[j] * gt.f[j]
+			}
+		}
+		if l > 0 {
+			dxFromAbove = dxBelow
+		}
+	}
+	return loss
+}
+
+func softmax(logits []float32) []float32 {
+	maxv := logits[0]
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float32, len(logits))
+	var sum float32
+	for i, v := range logits {
+		e := float32(math.Exp(float64(v - maxv)))
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// TrainBatch performs one SGD step over (sequence, label) examples with
+// full backpropagation through time, returning the mean loss.
+func (m *Model) TrainBatch(seqs [][][]float32, labels []int, lr float32) (float32, error) {
+	if len(seqs) != len(labels) {
+		return 0, fmt.Errorf("lstm: %d sequences but %d labels", len(seqs), len(labels))
+	}
+	if len(seqs) == 0 {
+		return 0, nil
+	}
+	g := newGrads(m)
+	var loss float64
+	for s, seq := range seqs {
+		if labels[s] < 0 || labels[s] >= m.Classes {
+			return 0, fmt.Errorf("lstm: label %d out of range [0,%d)", labels[s], m.Classes)
+		}
+		if len(seq) == 0 {
+			return 0, fmt.Errorf("lstm: empty sequence at index %d", s)
+		}
+		traces, logits := m.forwardTrace(seq)
+		loss += m.backward(traces, logits, labels[s], g)
+	}
+	scale := lr / float32(len(seqs))
+	clip := func(v float32) float32 {
+		// Gradient clipping keeps BPTT stable on long sequences.
+		const lim = 5
+		if v > lim {
+			return lim
+		}
+		if v < -lim {
+			return -lim
+		}
+		return v
+	}
+	for l, c := range m.Cells {
+		cg := g.cells[l]
+		for i := range c.Wx {
+			c.Wx[i] -= scale * clip(cg.wx[i])
+		}
+		for i := range c.Wh {
+			c.Wh[i] -= scale * clip(cg.wh[i])
+		}
+		for i := range c.B {
+			c.B[i] -= scale * clip(cg.b[i])
+		}
+	}
+	for i := range m.HeadW {
+		m.HeadW[i] -= scale * clip(g.headW[i])
+	}
+	for i := range m.HeadB {
+		m.HeadB[i] -= scale * clip(g.headB[i])
+	}
+	return float32(loss / float64(len(seqs))), nil
+}
+
+// Loss computes mean cross-entropy over a labeled set without updating
+// weights (for gradient checking and eval).
+func (m *Model) Loss(seqs [][][]float32, labels []int) float64 {
+	var loss float64
+	for s, seq := range seqs {
+		_, logits := m.forwardTrace(seq)
+		probs := softmax(logits)
+		loss += -math.Log(math.Max(float64(probs[labels[s]]), 1e-12))
+	}
+	return loss / float64(len(seqs))
+}
+
+// Accuracy evaluates classification accuracy over a labeled set.
+func (m *Model) Accuracy(seqs [][][]float32, labels []int) float64 {
+	if len(seqs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, seq := range seqs {
+		if m.Predict(seq) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(seqs))
+}

@@ -1,0 +1,170 @@
+package lstm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Numerical gradient check: the BPTT gradients must match central finite
+// differences on a tiny model. This is the canonical correctness test for
+// a hand-written backward pass.
+func TestGradientCheck(t *testing.T) {
+	m := New(3, 2, []int{3, 3}, 2)
+	seqs := [][][]float32{
+		{{0.5, -0.3}, {0.1, 0.9}, {-0.7, 0.2}},
+		{{-0.2, 0.4}, {0.8, -0.6}},
+	}
+	labels := []int{0, 1}
+
+	// Analytic gradients.
+	g := newGrads(m)
+	for s, seq := range seqs {
+		traces, logits := m.forwardTrace(seq)
+		m.backward(traces, logits, labels[s], g)
+	}
+
+	// Parameters to probe: a sample from every tensor.
+	type param struct {
+		name string
+		w    []float32
+		grad []float32
+		idx  int
+	}
+	rng := rand.New(rand.NewSource(4))
+	var params []param
+	for l, c := range m.Cells {
+		params = append(params,
+			param{"wx", c.Wx, g.cells[l].wx, rng.Intn(len(c.Wx))},
+			param{"wh", c.Wh, g.cells[l].wh, rng.Intn(len(c.Wh))},
+			param{"b", c.B, g.cells[l].b, rng.Intn(len(c.B))},
+		)
+	}
+	params = append(params,
+		param{"headW", m.HeadW, g.headW, rng.Intn(len(m.HeadW))},
+		param{"headB", m.HeadB, g.headB, rng.Intn(len(m.HeadB))},
+	)
+
+	const eps = 1e-2
+	for _, p := range params {
+		orig := p.w[p.idx]
+		p.w[p.idx] = orig + eps
+		lossPlus := m.Loss(seqs, labels) * float64(len(seqs))
+		p.w[p.idx] = orig - eps
+		lossMinus := m.Loss(seqs, labels) * float64(len(seqs))
+		p.w[p.idx] = orig
+		numeric := (lossPlus - lossMinus) / (2 * eps)
+		analytic := float64(p.grad[p.idx])
+		denom := math.Max(math.Abs(numeric)+math.Abs(analytic), 1e-4)
+		rel := math.Abs(numeric-analytic) / denom
+		if rel > 0.05 {
+			t.Errorf("%s[%d]: analytic %.6f vs numeric %.6f (rel %.3f)",
+				p.name, p.idx, analytic, numeric, rel)
+		}
+	}
+}
+
+func TestTrainBatchValidation(t *testing.T) {
+	m := New(1, 2, []int{4}, 2)
+	if _, err := m.TrainBatch([][][]float32{{{1, 2}}}, []int{5}, 0.1); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := m.TrainBatch([][][]float32{{{1, 2}}}, []int{0, 1}, 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := m.TrainBatch([][][]float32{{}}, []int{0}, 0.1); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if loss, err := m.TrainBatch(nil, nil, 0.1); err != nil || loss != 0 {
+		t.Fatal("empty batch should be a no-op")
+	}
+}
+
+// The LSTM must learn a temporal task an order-free model cannot: classify
+// whether a sequence is rising or falling (same value multiset, different
+// order).
+func TestLearnsTemporalOrder(t *testing.T) {
+	m := New(7, 1, []int{12}, 2)
+	rng := rand.New(rand.NewSource(7))
+	mkSeq := func(rising bool) [][]float32 {
+		base := rng.Float32() * 0.3
+		step := 0.1 + rng.Float32()*0.1
+		seq := make([][]float32, 6)
+		for i := range seq {
+			v := base + float32(i)*step
+			if !rising {
+				v = base + float32(len(seq)-1-i)*step
+			}
+			seq[i] = []float32{v}
+		}
+		return seq
+	}
+	var seqs [][][]float32
+	var labels []int
+	for i := 0; i < 200; i++ {
+		rising := i%2 == 0
+		seqs = append(seqs, mkSeq(rising))
+		label := 0
+		if rising {
+			label = 1
+		}
+		labels = append(labels, label)
+	}
+	var loss float32
+	var err error
+	for epoch := 0; epoch < 150; epoch++ {
+		if loss, err = m.TrainBatch(seqs, labels, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc := m.Accuracy(seqs, labels); acc < 0.95 {
+		t.Fatalf("accuracy = %.3f (loss %.4f), want >= 0.95 on rising/falling", acc, loss)
+	}
+	// Held-out generalization.
+	var testSeqs [][][]float32
+	var testLabels []int
+	for i := 0; i < 50; i++ {
+		rising := i%2 == 0
+		testSeqs = append(testSeqs, mkSeq(rising))
+		if rising {
+			testLabels = append(testLabels, 1)
+		} else {
+			testLabels = append(testLabels, 0)
+		}
+	}
+	if acc := m.Accuracy(testSeqs, testLabels); acc < 0.9 {
+		t.Fatalf("held-out accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	m := New(11, 2, []int{8, 8}, 3)
+	rng := rand.New(rand.NewSource(11))
+	var seqs [][][]float32
+	var labels []int
+	for i := 0; i < 60; i++ {
+		label := i % 3
+		seq := make([][]float32, 5)
+		for tt := range seq {
+			seq[tt] = []float32{float32(label) + rng.Float32()*0.3, rng.Float32()}
+		}
+		seqs = append(seqs, seq)
+		labels = append(labels, label)
+	}
+	first := m.Loss(seqs, labels)
+	for epoch := 0; epoch < 60; epoch++ {
+		if _, err := m.TrainBatch(seqs, labels, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := m.Loss(seqs, labels)
+	if last >= first/2 {
+		t.Fatalf("loss %f -> %f: did not halve", first, last)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if got := New(1, 1, []int{2}, 2).Accuracy(nil, nil); got != 0 {
+		t.Fatalf("Accuracy(empty) = %v", got)
+	}
+}

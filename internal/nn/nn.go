@@ -1,0 +1,344 @@
+// Package nn implements the dense feed-forward neural networks used by the
+// paper's ML-assisted subsystems: LinnOS's I/O latency classifier ("two
+// layers with 256 and 2 neurons", §7.1, plus the +1/+2 augmented variants),
+// MLLB's load-balancing perceptron (§7.3) and KML's readahead classifier
+// (§7.4).
+//
+// Networks run real float32 arithmetic — forward inference and SGD training
+// with softmax cross-entropy — so the end-to-end experiments classify with a
+// genuinely trained model. The package also provides serialization (for the
+// feature registry's model lifecycle) and FLOP accounting (for the GPU cost
+// model).
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation uint8
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+)
+
+// Layer is one dense layer: y = act(W*x + b) with W stored row-major
+// (Out rows of In columns).
+type Layer struct {
+	In, Out int
+	W       []float32
+	B       []float32
+	Act     Activation
+}
+
+// Network is a sequence of dense layers.
+type Network struct {
+	Layers []*Layer
+}
+
+// New builds a network with the given layer sizes (sizes[0] = input width),
+// ReLU on hidden layers and a linear output layer, with He-style random
+// initialization from seed (deterministic for reproducibility).
+func New(seed int64, sizes ...int) *Network {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := &Network{}
+	for i := 0; i+1 < len(sizes); i++ {
+		in, out := sizes[i], sizes[i+1]
+		if in <= 0 || out <= 0 {
+			panic(fmt.Sprintf("nn: invalid layer size %dx%d", in, out))
+		}
+		l := &Layer{In: in, Out: out, W: make([]float32, in*out), B: make([]float32, out), Act: ReLU}
+		if i+2 == len(sizes) {
+			l.Act = Linear
+		}
+		scale := float32(math.Sqrt(2 / float64(in)))
+		for j := range l.W {
+			l.W[j] = float32(rng.NormFloat64()) * scale
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	return net
+}
+
+// InputSize returns the expected input width.
+func (n *Network) InputSize() int { return n.Layers[0].In }
+
+// OutputSize returns the output width.
+func (n *Network) OutputSize() int { return n.Layers[len(n.Layers)-1].Out }
+
+// Sizes returns the layer widths including the input.
+func (n *Network) Sizes() []int {
+	s := []int{n.InputSize()}
+	for _, l := range n.Layers {
+		s = append(s, l.Out)
+	}
+	return s
+}
+
+// Flops returns the multiply-accumulate FLOP count of one forward pass
+// (2 FLOPs per weight), the quantity the GPU model converts to time.
+func (n *Network) Flops() float64 {
+	var f float64
+	for _, l := range n.Layers {
+		f += 2 * float64(l.In) * float64(l.Out)
+	}
+	return f
+}
+
+func (l *Layer) forward(x, out []float32) {
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, w := range row {
+			sum += w * x[i]
+		}
+		if l.Act == ReLU && sum < 0 {
+			sum = 0
+		}
+		out[o] = sum
+	}
+}
+
+// Forward runs one inference, returning the output activations (logits for
+// classifier networks).
+func (n *Network) Forward(x []float32) []float32 {
+	if len(x) != n.InputSize() {
+		panic(fmt.Sprintf("nn: input width %d, want %d", len(x), n.InputSize()))
+	}
+	cur := x
+	for _, l := range n.Layers {
+		next := make([]float32, l.Out)
+		l.forward(cur, next)
+		cur = next
+	}
+	return cur
+}
+
+// ForwardBatch runs inference over a batch.
+func (n *Network) ForwardBatch(xs [][]float32) [][]float32 {
+	out := make([][]float32, len(xs))
+	for i, x := range xs {
+		out[i] = n.Forward(x)
+	}
+	return out
+}
+
+// Predict returns the argmax class for x.
+func (n *Network) Predict(x []float32) int {
+	logits := n.Forward(x)
+	best := 0
+	for i, v := range logits {
+		if v > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Softmax converts logits to probabilities (numerically stabilized).
+func Softmax(logits []float32) []float32 {
+	maxv := logits[0]
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float32, len(logits))
+	var sum float32
+	for i, v := range logits {
+		e := float32(math.Exp(float64(v - maxv)))
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// TrainBatch performs one SGD step on a batch with integer class labels,
+// minimizing softmax cross-entropy, and returns the mean loss.
+func (n *Network) TrainBatch(xs [][]float32, labels []int, lr float32) (float32, error) {
+	if len(xs) != len(labels) {
+		return 0, fmt.Errorf("nn: %d inputs but %d labels", len(xs), len(labels))
+	}
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	nl := len(n.Layers)
+	// Accumulated gradients.
+	gW := make([][]float32, nl)
+	gB := make([][]float32, nl)
+	for i, l := range n.Layers {
+		gW[i] = make([]float32, len(l.W))
+		gB[i] = make([]float32, len(l.B))
+	}
+	var loss float64
+	acts := make([][]float32, nl+1)
+	for s, x := range xs {
+		label := labels[s]
+		if label < 0 || label >= n.OutputSize() {
+			return 0, fmt.Errorf("nn: label %d out of range [0,%d)", label, n.OutputSize())
+		}
+		// Forward, retaining activations.
+		acts[0] = x
+		for i, l := range n.Layers {
+			out := make([]float32, l.Out)
+			l.forward(acts[i], out)
+			acts[i+1] = out
+		}
+		probs := Softmax(acts[nl])
+		p := float64(probs[label])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+		// Backward: output delta = probs - onehot.
+		delta := make([]float32, len(probs))
+		copy(delta, probs)
+		delta[label] -= 1
+		for i := nl - 1; i >= 0; i-- {
+			l := n.Layers[i]
+			in := acts[i]
+			// ReLU derivative gates delta by the layer's own output.
+			if l.Act == ReLU {
+				out := acts[i+1]
+				for o := range delta {
+					if out[o] <= 0 {
+						delta[o] = 0
+					}
+				}
+			}
+			for o := 0; o < l.Out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				gB[i][o] += d
+				row := gW[i][o*l.In : (o+1)*l.In]
+				for j, xv := range in {
+					row[j] += d * xv
+				}
+			}
+			if i > 0 {
+				prev := make([]float32, l.In)
+				for o := 0; o < l.Out; o++ {
+					d := delta[o]
+					if d == 0 {
+						continue
+					}
+					row := l.W[o*l.In : (o+1)*l.In]
+					for j, w := range row {
+						prev[j] += w * d
+					}
+				}
+				delta = prev
+			}
+		}
+	}
+	// Apply averaged gradients.
+	scale := lr / float32(len(xs))
+	for i, l := range n.Layers {
+		for j := range l.W {
+			l.W[j] -= scale * gW[i][j]
+		}
+		for j := range l.B {
+			l.B[j] -= scale * gB[i][j]
+		}
+	}
+	return float32(loss / float64(len(xs))), nil
+}
+
+// Accuracy evaluates classification accuracy over a labeled set.
+func (n *Network) Accuracy(xs [][]float32, labels []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if n.Predict(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+const marshalMagic = 0x4C4E4E31 // "LNN1"
+
+// Marshal serializes the network (for the feature registry's model files).
+func (n *Network) Marshal() []byte {
+	size := 8
+	for _, l := range n.Layers {
+		size += 9 + 4*len(l.W) + 4*len(l.B)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, marshalMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.Layers)))
+	for _, l := range n.Layers {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l.In))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l.Out))
+		buf = append(buf, byte(l.Act))
+		for _, w := range l.W {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(w))
+		}
+		for _, b := range l.B {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(b))
+		}
+	}
+	return buf
+}
+
+// ErrBadModel reports a corrupt serialized network.
+var ErrBadModel = errors.New("nn: corrupt model blob")
+
+// Unmarshal deserializes a network produced by Marshal.
+func Unmarshal(blob []byte) (*Network, error) {
+	if len(blob) < 8 || binary.LittleEndian.Uint32(blob) != marshalMagic {
+		return nil, ErrBadModel
+	}
+	nl := int(binary.LittleEndian.Uint32(blob[4:]))
+	if nl <= 0 || nl > 64 {
+		return nil, ErrBadModel
+	}
+	pos := 8
+	need := func(n int) bool { return pos+n <= len(blob) }
+	net := &Network{}
+	for i := 0; i < nl; i++ {
+		if !need(9) {
+			return nil, ErrBadModel
+		}
+		in := int(binary.LittleEndian.Uint32(blob[pos:]))
+		out := int(binary.LittleEndian.Uint32(blob[pos+4:]))
+		act := Activation(blob[pos+8])
+		pos += 9
+		if in <= 0 || out <= 0 || in > 1<<20 || out > 1<<20 || act > ReLU {
+			return nil, ErrBadModel
+		}
+		l := &Layer{In: in, Out: out, Act: act, W: make([]float32, in*out), B: make([]float32, out)}
+		if !need(4 * (len(l.W) + len(l.B))) {
+			return nil, ErrBadModel
+		}
+		for j := range l.W {
+			l.W[j] = math.Float32frombits(binary.LittleEndian.Uint32(blob[pos:]))
+			pos += 4
+		}
+		for j := range l.B {
+			l.B[j] = math.Float32frombits(binary.LittleEndian.Uint32(blob[pos:]))
+			pos += 4
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	if pos != len(blob) {
+		return nil, ErrBadModel
+	}
+	return net, nil
+}

@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	n := New(1, 31, 256, 2)
+	if n.InputSize() != 31 || n.OutputSize() != 2 {
+		t.Fatalf("sizes = %d -> %d, want 31 -> 2", n.InputSize(), n.OutputSize())
+	}
+	got := n.Sizes()
+	want := []int{31, 256, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", got, want)
+		}
+	}
+	if n.Layers[0].Act != ReLU || n.Layers[1].Act != Linear {
+		t.Fatal("hidden layer must be ReLU, output Linear")
+	}
+}
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(7, 4, 8, 2), New(7, 4, 8, 2)
+	for i := range a.Layers[0].W {
+		if a.Layers[0].W[i] != b.Layers[0].W[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	c := New(8, 4, 8, 2)
+	same := true
+	for i := range a.Layers[0].W {
+		if a.Layers[0].W[i] != c.Layers[0].W[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	// Hand-built 2->2->1 network.
+	n := &Network{Layers: []*Layer{
+		{In: 2, Out: 2, W: []float32{1, -1, 0.5, 0.5}, B: []float32{0, -1}, Act: ReLU},
+		{In: 2, Out: 1, W: []float32{2, 3}, B: []float32{0.5}, Act: Linear},
+	}}
+	// x = [3, 1]: h = relu([3-1, 1.5+0.5-1]) = [2, 1]; y = 2*2+3*1+0.5 = 7.5
+	got := n.Forward([]float32{3, 1})
+	if len(got) != 1 || math.Abs(float64(got[0]-7.5)) > 1e-6 {
+		t.Fatalf("Forward = %v, want [7.5]", got)
+	}
+}
+
+func TestForwardPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong input width")
+		}
+	}()
+	New(1, 4, 2).Forward([]float32{1})
+}
+
+func TestFlops(t *testing.T) {
+	n := New(1, 31, 256, 2)
+	want := 2 * float64(31*256+256*2)
+	if got := n.Flops(); got != want {
+		t.Fatalf("Flops = %v, want %v", got, want)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float32{1000, 1000}) // stability check
+	if math.Abs(float64(p[0]-0.5)) > 1e-6 {
+		t.Fatalf("Softmax large logits = %v", p)
+	}
+	p = Softmax([]float32{0, math.MaxFloat32 / 2})
+	if p[1] < 0.99 {
+		t.Fatalf("Softmax = %v, want ~[0,1]", p)
+	}
+	var sum float32
+	for _, v := range Softmax([]float32{0.3, -1.2, 2.5}) {
+		sum += v
+	}
+	if math.Abs(float64(sum-1)) > 1e-5 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+// Train a small model on a linearly separable task and require high
+// accuracy: confirms backprop actually learns.
+func TestTrainingLearnsSeparableTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := New(1, 2, 16, 2)
+	var xs [][]float32
+	var labels []int
+	for i := 0; i < 400; i++ {
+		x := []float32{rng.Float32()*2 - 1, rng.Float32()*2 - 1}
+		label := 0
+		if x[0]+x[1] > 0 {
+			label = 1
+		}
+		xs = append(xs, x)
+		labels = append(labels, label)
+	}
+	var lastLoss float32
+	for epoch := 0; epoch < 200; epoch++ {
+		loss, err := n.TrainBatch(xs, labels, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLoss = loss
+	}
+	if acc := n.Accuracy(xs, labels); acc < 0.95 {
+		t.Fatalf("accuracy = %.3f (loss %.4f), want >= 0.95", acc, lastLoss)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	n := New(3, 4, 8, 2)
+	xs := [][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}}
+	labels := []int{0, 1, 1, 0}
+	first, err := n.TrainBatch(xs, labels, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float32
+	for i := 0; i < 300; i++ {
+		last, _ = n.TrainBatch(xs, labels, 0.1)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %v, last %v", first, last)
+	}
+}
+
+func TestTrainBatchErrors(t *testing.T) {
+	n := New(1, 2, 2)
+	if _, err := n.TrainBatch([][]float32{{1, 2}}, []int{5}, 0.1); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := n.TrainBatch([][]float32{{1, 2}}, []int{0, 1}, 0.1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if loss, err := n.TrainBatch(nil, nil, 0.1); err != nil || loss != 0 {
+		t.Error("empty batch should be a no-op")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if got := New(1, 2, 2).Accuracy(nil, nil); got != 0 {
+		t.Fatalf("Accuracy(empty) = %v", got)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	n := New(99, 31, 256, 256, 2)
+	blob := n.Marshal()
+	m, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, 31)
+	for i := range x {
+		x[i] = float32(i) / 31
+	}
+	a, b := n.Forward(x), m.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output mismatch after round trip: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	good := New(1, 4, 2).Marshal()
+	for _, cut := range []int{0, 3, 7, 8, len(good) - 1} {
+		if _, err := Unmarshal(good[:cut]); err == nil {
+			t.Errorf("truncated blob (%d bytes) accepted", cut)
+		}
+	}
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Unmarshal(append(good, 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+// Property: ForwardBatch agrees with per-sample Forward.
+func TestQuickBatchMatchesSingle(t *testing.T) {
+	n := New(5, 3, 8, 2)
+	f := func(raw [][3]int16) bool {
+		xs := make([][]float32, len(raw))
+		for i, r := range raw {
+			xs[i] = []float32{float32(r[0]) / 256, float32(r[1]) / 256, float32(r[2]) / 256}
+		}
+		batch := n.ForwardBatch(xs)
+		for i, x := range xs {
+			single := n.Forward(x)
+			for j := range single {
+				if batch[i][j] != single[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax output is a probability distribution for any finite
+// logits.
+func TestQuickSoftmaxDistribution(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		logits := make([]float32, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 0
+			}
+			logits = append(logits, v)
+		}
+		p := Softmax(logits)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || math.IsNaN(float64(v)) {
+				return false
+			}
+			sum += float64(v)
+		}
+		return math.Abs(sum-1) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzUnmarshal: arbitrary bytes must never panic the model decoder.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(New(1, 4, 2).Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode stably.
+		again, err := Unmarshal(net.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if len(again.Layers) != len(net.Layers) {
+			t.Fatal("layer count unstable")
+		}
+	})
+}

@@ -1,0 +1,44 @@
+// Package nvml provides the NVML-style device utilization query that LAKE's
+// contention policies sample (§4.3: "A policy's toolset includes any OS- or
+// vendor-provided utilities (e.g. NVIDIA's NVML API, supported by LAKE)").
+package nvml
+
+import (
+	"time"
+
+	"lakego/internal/gpu"
+)
+
+// Utilization mirrors nvmlUtilization_t: percentages over the sampling
+// window.
+type Utilization struct {
+	// GPU is the percentage of time one or more kernels executed.
+	GPU int
+	// Memory is the percentage of time device memory was being read or
+	// written; the model approximates it from allocation pressure.
+	Memory int
+}
+
+// SamplingWindow matches NVML's documented utilization sampling period
+// range (roughly 50ms-1s depending on device); policies should treat
+// readings as smoothed, which is why the Fig 3 policy applies its own
+// moving average on top.
+const SamplingWindow = 50 * time.Millisecond
+
+// DeviceGetUtilizationRates reports device utilization over the trailing
+// sampling window, like nvmlDeviceGetUtilizationRates.
+func DeviceGetUtilizationRates(dev *gpu.Device) Utilization {
+	u := dev.Utilization(SamplingWindow, "")
+	memFrac := float64(dev.MemUsed()) / float64(dev.Spec().MemoryBytes)
+	return Utilization{
+		GPU:    int(u*100 + 0.5),
+		Memory: int(memFrac*100 + 0.5),
+	}
+}
+
+// DeviceGetClientUtilization reports utilization attributable to a single
+// context tag. The paper's adaptive policy (Fig 13) uses the aggregate
+// number; experiments use this to split kernel vs user shares (Fig 15).
+func DeviceGetClientUtilization(dev *gpu.Device, client string) int {
+	return int(dev.Utilization(SamplingWindow, client)*100 + 0.5)
+}

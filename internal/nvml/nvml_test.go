@@ -1,0 +1,74 @@
+package nvml
+
+import (
+	"testing"
+	"time"
+
+	"lakego/internal/gpu"
+	"lakego/internal/vtime"
+)
+
+func TestIdleDeviceReportsZero(t *testing.T) {
+	dev := gpu.New(gpu.DefaultSpec(), vtime.New())
+	dev.Clock().Advance(time.Second)
+	u := DeviceGetUtilizationRates(dev)
+	if u.GPU != 0 {
+		t.Fatalf("GPU util = %d, want 0", u.GPU)
+	}
+	if u.Memory != 0 {
+		t.Fatalf("Memory util = %d, want 0", u.Memory)
+	}
+}
+
+func TestBusyDeviceReportsHighUtilization(t *testing.T) {
+	clk := vtime.New()
+	dev := gpu.New(gpu.DefaultSpec(), clk)
+	clk.Advance(time.Second) // establish history
+	dev.Execute("work", SamplingWindow, nil)
+	u := DeviceGetUtilizationRates(dev)
+	if u.GPU < 95 {
+		t.Fatalf("GPU util = %d, want >=95 after saturating the window", u.GPU)
+	}
+}
+
+func TestPartialUtilization(t *testing.T) {
+	clk := vtime.New()
+	dev := gpu.New(gpu.DefaultSpec(), clk)
+	clk.Advance(time.Second)
+	dev.Execute("work", SamplingWindow/2, nil)
+	clk.Advance(SamplingWindow / 2)
+	u := DeviceGetUtilizationRates(dev)
+	if u.GPU < 40 || u.GPU > 60 {
+		t.Fatalf("GPU util = %d, want ~50", u.GPU)
+	}
+}
+
+func TestMemoryUtilizationTracksAllocations(t *testing.T) {
+	spec := gpu.DefaultSpec()
+	spec.MemoryBytes = 1000
+	dev := gpu.New(spec, vtime.New())
+	if _, err := dev.Alloc(500); err != nil {
+		t.Fatal(err)
+	}
+	u := DeviceGetUtilizationRates(dev)
+	if u.Memory != 50 {
+		t.Fatalf("Memory util = %d, want 50", u.Memory)
+	}
+}
+
+func TestClientUtilizationSplit(t *testing.T) {
+	clk := vtime.New()
+	dev := gpu.New(gpu.DefaultSpec(), clk)
+	clk.Advance(time.Second)
+	dev.Execute("kernel-ml", SamplingWindow/4, nil)
+	dev.Execute("user-hash", SamplingWindow/4, nil)
+	clk.Advance(SamplingWindow / 2)
+	ml := DeviceGetClientUtilization(dev, "kernel-ml")
+	hash := DeviceGetClientUtilization(dev, "user-hash")
+	if ml < 15 || ml > 35 {
+		t.Fatalf("kernel-ml util = %d, want ~25", ml)
+	}
+	if hash < 15 || hash > 35 {
+		t.Fatalf("user-hash util = %d, want ~25", hash)
+	}
+}

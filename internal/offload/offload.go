@@ -1,0 +1,271 @@
+// Package offload provides the shared harness the ML-assisted subsystems
+// use to run batched inference either on the kernel CPU path or through
+// LAKE's remoted CUDA path, and to sweep batch sizes for the profitability
+// figures (Figs 10, 11, 12) and Table 3's crossover points.
+//
+// Each workload package wraps a Runner with its own model, feature width
+// and calibrated kernel-space CPU cost; the Runner owns the device kernel
+// registration, lakeShm staging buffers and the measurement protocol
+// (LAKE vs LAKE-sync, mirroring §7's "with and without synchronous data
+// movement").
+package offload
+
+import (
+	"fmt"
+	"time"
+
+	"lakego/internal/core"
+	"lakego/internal/cuda"
+	"lakego/internal/gpu"
+	"lakego/internal/shm"
+	"lakego/internal/vtime"
+)
+
+// Config describes one offloadable classifier.
+type Config struct {
+	// Name is the device-kernel symbol (must be unique per runtime).
+	Name string
+	// InputWidth / OutputWidth are per-item float32 counts.
+	InputWidth, OutputWidth int
+	// MaxBatch bounds one staged batch.
+	MaxBatch int
+	// CPUFixed is the per-invocation kernel-space cost (kernel_fpu
+	// bracketing etc.); CPUPerItem is the per-inference cost.
+	CPUFixed, CPUPerItem time.Duration
+	// FlopsPerItem drives the GPU compute-time model.
+	FlopsPerItem float64
+	// Forward computes one item's real output. May be nil for
+	// timing-only configurations (e.g. the large malware sweeps), in
+	// which case outputs are zero.
+	Forward func(x []float32) []float32
+}
+
+func (c Config) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("offload: config needs a kernel name")
+	}
+	if c.InputWidth <= 0 || c.OutputWidth <= 0 || c.MaxBatch <= 0 {
+		return fmt.Errorf("offload: %s: invalid dimensions %dx%d max %d",
+			c.Name, c.InputWidth, c.OutputWidth, c.MaxBatch)
+	}
+	return nil
+}
+
+// Runner executes one classifier on either path.
+type Runner struct {
+	rt  *core.Runtime
+	cfg Config
+
+	ctx, fn       uint64
+	devIn, devOut gpu.DevPtr
+	inBuf, outBuf *shm.Buffer
+}
+
+// NewRunner registers the device kernel and stages buffers.
+func NewRunner(rt *core.Runtime, cfg Config) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{rt: rt, cfg: cfg}
+	rt.RegisterKernel(&cuda.Kernel{
+		Name:  cfg.Name,
+		Flops: func(args []uint64) float64 { return float64(args[2]) * cfg.FlopsPerItem },
+		Body:  r.kernelBody,
+	})
+	lib := rt.Lib()
+	ctx, res := lib.CuCtxCreate("kernel-" + cfg.Name)
+	if res != cuda.Success {
+		return nil, res.Err()
+	}
+	mod, res := lib.CuModuleLoad(cfg.Name + ".cubin")
+	if res != cuda.Success {
+		return nil, res.Err()
+	}
+	fn, res := lib.CuModuleGetFunction(mod, cfg.Name)
+	if res != cuda.Success {
+		return nil, res.Err()
+	}
+	r.ctx, r.fn = ctx, fn
+
+	inBytes := int64(4 * cfg.InputWidth * cfg.MaxBatch)
+	outBytes := int64(4 * cfg.OutputWidth * cfg.MaxBatch)
+	if r.devIn, res = lib.CuMemAlloc(inBytes); res != cuda.Success {
+		return nil, res.Err()
+	}
+	if r.devOut, res = lib.CuMemAlloc(outBytes); res != cuda.Success {
+		return nil, res.Err()
+	}
+	var err error
+	if r.inBuf, err = rt.Region().Alloc(inBytes); err != nil {
+		return nil, err
+	}
+	if r.outBuf, err = rt.Region().Alloc(outBytes); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+func (r *Runner) kernelBody(dev *gpu.Device, args []uint64) error {
+	if len(args) != 3 {
+		return fmt.Errorf("%s: want 3 args, got %d", r.cfg.Name, len(args))
+	}
+	n := int(args[2])
+	if n <= 0 || n > r.cfg.MaxBatch {
+		return fmt.Errorf("%s: batch %d out of range", r.cfg.Name, n)
+	}
+	if r.cfg.Forward == nil {
+		return nil // timing-only kernel
+	}
+	inMem, err := dev.Bytes(gpu.DevPtr(args[0]))
+	if err != nil {
+		return err
+	}
+	outMem, err := dev.Bytes(gpu.DevPtr(args[1]))
+	if err != nil {
+		return err
+	}
+	flat, err := cuda.Float32s(inMem, n*r.cfg.InputWidth)
+	if err != nil {
+		return err
+	}
+	out := make([]float32, 0, n*r.cfg.OutputWidth)
+	for i := 0; i < n; i++ {
+		y := r.cfg.Forward(flat[i*r.cfg.InputWidth : (i+1)*r.cfg.InputWidth])
+		if len(y) != r.cfg.OutputWidth {
+			return fmt.Errorf("%s: forward returned %d outputs, want %d",
+				r.cfg.Name, len(y), r.cfg.OutputWidth)
+		}
+		out = append(out, y...)
+	}
+	return cuda.PutFloat32s(outMem, out)
+}
+
+// RunCPU executes the batch on the kernel CPU path: real outputs (when
+// Forward is set) with the calibrated kernel-space cost charged.
+func (r *Runner) RunCPU(batch [][]float32) ([][]float32, time.Duration) {
+	out := make([][]float32, len(batch))
+	for i, x := range batch {
+		if r.cfg.Forward != nil {
+			out[i] = r.cfg.Forward(x)
+		} else {
+			out[i] = make([]float32, r.cfg.OutputWidth)
+		}
+	}
+	cost := r.cfg.CPUFixed + time.Duration(len(batch))*r.cfg.CPUPerItem
+	r.rt.Clock().Advance(cost)
+	return out, cost
+}
+
+// RunLAKE executes the batch through the full remoted stack. With sync the
+// input staging copy is on the measured critical path ("LAKE (sync.)");
+// otherwise it is charged before timing starts ("LAKE").
+func (r *Runner) RunLAKE(batch [][]float32, sync bool) ([][]float32, time.Duration, error) {
+	n := len(batch)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n > r.cfg.MaxBatch {
+		return nil, 0, fmt.Errorf("%s: batch %d exceeds max %d", r.cfg.Name, n, r.cfg.MaxBatch)
+	}
+	flat := make([]float32, 0, n*r.cfg.InputWidth)
+	for _, x := range batch {
+		if len(x) != r.cfg.InputWidth {
+			return nil, 0, fmt.Errorf("%s: item width %d, want %d", r.cfg.Name, len(x), r.cfg.InputWidth)
+		}
+		flat = append(flat, x...)
+	}
+	if err := cuda.PutFloat32s(r.inBuf.Bytes(), flat); err != nil {
+		return nil, 0, err
+	}
+	lib := r.rt.Lib()
+	inBytes := int64(4 * n * r.cfg.InputWidth)
+	outBytes := int64(4 * n * r.cfg.OutputWidth)
+	copyIn := func() error {
+		if res := lib.CuMemcpyHtoDShm(r.devIn, r.inBuf, inBytes); res != cuda.Success {
+			return res.Err()
+		}
+		return nil
+	}
+	var sw vtime.Stopwatch
+	if sync {
+		sw = vtime.StartStopwatch(r.rt.Clock())
+		if err := copyIn(); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		if err := copyIn(); err != nil {
+			return nil, 0, err
+		}
+		sw = vtime.StartStopwatch(r.rt.Clock())
+	}
+	if res := lib.CuLaunchKernel(r.ctx, r.fn, []uint64{uint64(r.devIn), uint64(r.devOut), uint64(n)}); res != cuda.Success {
+		return nil, 0, res.Err()
+	}
+	if res := lib.CuMemcpyDtoHShm(r.outBuf, r.devOut, outBytes); res != cuda.Success {
+		return nil, 0, res.Err()
+	}
+	elapsed := sw.Elapsed()
+
+	vals, err := cuda.Float32s(r.outBuf.Bytes(), n*r.cfg.OutputWidth)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		out[i] = vals[i*r.cfg.OutputWidth : (i+1)*r.cfg.OutputWidth]
+	}
+	return out, elapsed, nil
+}
+
+// SweepPoint is one batch-size measurement across execution paths.
+type SweepPoint struct {
+	Batch    int
+	CPU      time.Duration
+	LAKE     time.Duration
+	LAKESync time.Duration
+}
+
+// Sweep measures the runner at each batch size; mkItem generates the i-th
+// input of a batch.
+func Sweep(r *Runner, batches []int, mkItem func(i int) []float32) ([]SweepPoint, error) {
+	points := make([]SweepPoint, 0, len(batches))
+	for _, b := range batches {
+		if b > r.cfg.MaxBatch {
+			return nil, fmt.Errorf("offload: sweep batch %d exceeds max %d", b, r.cfg.MaxBatch)
+		}
+		batch := make([][]float32, b)
+		for i := range batch {
+			batch[i] = mkItem(i)
+		}
+		_, cpuT := r.RunCPU(batch)
+		_, asyncT, err := r.RunLAKE(batch, false)
+		if err != nil {
+			return nil, err
+		}
+		_, syncT, err := r.RunLAKE(batch, true)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, SweepPoint{Batch: b, CPU: cpuT, LAKE: asyncT, LAKESync: syncT})
+	}
+	return points, nil
+}
+
+// Crossover returns the smallest measured batch where the LAKE (async)
+// path beats the CPU path, or 0 if it never does.
+func Crossover(points []SweepPoint) int {
+	for _, p := range points {
+		if p.LAKE < p.CPU {
+			return p.Batch
+		}
+	}
+	return 0
+}
+
+// StandardBatches is the 1..1024 power-of-two x-axis of Figs 8, 10, 11.
+func StandardBatches() []int {
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+}

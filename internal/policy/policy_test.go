@@ -1,0 +1,380 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lakego/internal/vtime"
+)
+
+func noHelpers() HelperSet { return HelperSet{} }
+
+func TestVerifyRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+	}{
+		{"empty", Program{}},
+		{"no exit", Program{{Op: OpMovImm, Dst: 0, Imm: 1}}},
+		{"bad reg", Program{{Op: OpMov, Dst: 16}, {Op: OpExit}}},
+		{"bad src reg", Program{{Op: OpMov, Dst: 0, Src: 200}, {Op: OpExit}}},
+		{"bad opcode", Program{{Op: OpCode(99)}, {Op: OpExit}}},
+		{"div zero imm", Program{{Op: OpDivImm, Dst: 0, Imm: 0}, {Op: OpExit}}},
+		{"backward jump", Program{{Op: OpMovImm, Dst: 0}, {Op: OpJmp, Off: -1}, {Op: OpExit}}},
+		{"zero jump", Program{{Op: OpJmp, Off: 0}, {Op: OpExit}}},
+		{"jump oob", Program{{Op: OpJmp, Off: 5}, {Op: OpExit}}},
+		{"unknown helper", Program{{Op: OpCall, Imm: 77}, {Op: OpExit}}},
+	}
+	for _, c := range cases {
+		if err := Verify(c.prog, noHelpers()); err == nil {
+			t.Errorf("%s: verifier accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestVerifyRejectsOversizedProgram(t *testing.T) {
+	p := make(Program, MaxInstructions+1)
+	for i := range p {
+		p[i] = Instruction{Op: OpMovImm, Dst: 1, Imm: 1}
+	}
+	p[len(p)-1] = Instruction{Op: OpExit}
+	if err := Verify(p, noHelpers()); err == nil {
+		t.Fatal("oversized program accepted")
+	}
+}
+
+func TestRunArithmetic(t *testing.T) {
+	// r0 = (7 + 5) * 3 / 2 - 4 = 14
+	p := Program{
+		{Op: OpMovImm, Dst: 0, Imm: 7},
+		{Op: OpAddImm, Dst: 0, Imm: 5},
+		{Op: OpMulImm, Dst: 0, Imm: 3},
+		{Op: OpDivImm, Dst: 0, Imm: 2},
+		{Op: OpSubImm, Dst: 0, Imm: 4},
+		{Op: OpExit},
+	}
+	got, err := Run(p, noHelpers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 14 {
+		t.Fatalf("result = %d, want 14", got)
+	}
+}
+
+func TestRunRegisterOps(t *testing.T) {
+	// r1=10, r2=3: r0 = r1*r2 + r1 - r2 = 37; then r0 /= r2 -> 12
+	p := Program{
+		{Op: OpMovImm, Dst: 1, Imm: 10},
+		{Op: OpMovImm, Dst: 2, Imm: 3},
+		{Op: OpMov, Dst: 0, Src: 1},
+		{Op: OpMul, Dst: 0, Src: 2},
+		{Op: OpAdd, Dst: 0, Src: 1},
+		{Op: OpSub, Dst: 0, Src: 2},
+		{Op: OpDiv, Dst: 0, Src: 2},
+		{Op: OpExit},
+	}
+	got, err := Run(p, noHelpers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12 {
+		t.Fatalf("result = %d, want 12", got)
+	}
+}
+
+func TestRunDivByZeroRegisterFaults(t *testing.T) {
+	p := Program{
+		{Op: OpMovImm, Dst: 0, Imm: 1},
+		{Op: OpDiv, Dst: 0, Src: 1}, // r1 == 0
+		{Op: OpExit},
+	}
+	if _, err := Run(p, noHelpers()); err == nil {
+		t.Fatal("division by zero register did not fault")
+	}
+}
+
+func TestRunConditionalJumps(t *testing.T) {
+	// if r1 >= 5 -> r0 = 1 else r0 = 0
+	mk := func(v int64) Program {
+		return Program{
+			{Op: OpMovImm, Dst: 1, Imm: v},
+			{Op: OpJgeImm, Dst: 1, Imm: 5, Off: 2},
+			{Op: OpMovImm, Dst: 0, Imm: 0},
+			{Op: OpExit},
+			{Op: OpMovImm, Dst: 0, Imm: 1},
+			{Op: OpExit},
+		}
+	}
+	for v, want := range map[int64]int64{4: 0, 5: 1, 6: 1, -1: 0} {
+		got, err := Run(mk(v), noHelpers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("v=%d: got %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestRunHelperCall(t *testing.T) {
+	helpers := HelperSet{
+		9: func(args [5]int64) int64 { return args[0] + args[1] },
+	}
+	p := Program{
+		{Op: OpMovImm, Dst: 1, Imm: 20},
+		{Op: OpMovImm, Dst: 2, Imm: 22},
+		{Op: OpCall, Imm: 9},
+		{Op: OpExit},
+	}
+	got, err := Run(p, helpers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("helper result = %d, want 42", got)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(3)
+	if m.Value() != 0 {
+		t.Fatalf("empty Value = %v, want 0", m.Value())
+	}
+	if got := m.Add(3); got != 3 {
+		t.Fatalf("Add(3) = %v, want 3", got)
+	}
+	m.Add(6)
+	if got := m.Value(); got != 4.5 {
+		t.Fatalf("Value = %v, want 4.5", got)
+	}
+	m.Add(9)         // window full: 3,6,9 -> 6
+	got := m.Add(12) // evicts 3: 6,9,12 -> 9
+	if got != 9 {
+		t.Fatalf("windowed average = %v, want 9", got)
+	}
+}
+
+func TestMovingAverageWindowOne(t *testing.T) {
+	m := NewMovingAverage(0) // clamps to 1
+	m.Add(5)
+	if got := m.Add(11); got != 11 {
+		t.Fatalf("window-1 average = %v, want 11", got)
+	}
+}
+
+func TestAdaptivePolicyProfitabilityGate(t *testing.T) {
+	clock := vtime.New()
+	a := NewAdaptive(AdaptiveConfig{BatchThreshold: 8, UtilThreshold: 40, Window: 4}, clock,
+		func() int { return 0 }) // idle GPU
+	if got := a.Decide(4); got != UseCPU {
+		t.Fatalf("batch 4 = %v, want CPU (below crossover)", got)
+	}
+	if got := a.Decide(8); got != UseGPU {
+		t.Fatalf("batch 8 = %v, want GPU", got)
+	}
+}
+
+func TestAdaptivePolicyContentionGate(t *testing.T) {
+	clock := vtime.New()
+	util := 90
+	a := NewAdaptive(DefaultAdaptiveConfig(), clock, func() int { return util })
+	if got := a.Decide(1024); got != UseCPU {
+		t.Fatalf("contended GPU: %v, want CPU", got)
+	}
+	// Contention clears; moving average must decay before offload resumes.
+	util = 0
+	var got Decision
+	for i := 0; i < 16; i++ {
+		clock.Advance(5 * time.Millisecond)
+		got = a.Decide(1024)
+	}
+	if got != UseGPU {
+		t.Fatalf("after contention cleared: %v, want GPU", got)
+	}
+}
+
+func TestAdaptiveRateLimitsQueries(t *testing.T) {
+	clock := vtime.New()
+	queries := 0
+	a := NewAdaptive(AdaptiveConfig{CheckInterval: 5 * time.Millisecond, UtilThreshold: 40, BatchThreshold: 1, Window: 4},
+		clock, func() int { queries++; return 0 })
+	for i := 0; i < 100; i++ {
+		a.Decide(10)
+		clock.Advance(100 * time.Microsecond) // 100 calls over 10ms
+	}
+	if queries > 3 {
+		t.Fatalf("utilization queried %d times in 10ms, want <= 3 (5ms rate limit)", queries)
+	}
+}
+
+func TestFigure3ProgramMatchesNativePolicy(t *testing.T) {
+	var batch, util int64
+	helpers := Figure3Helpers(func() int64 { return batch }, func() int64 { return util }, 1)
+	vp, err := NewVMPolicy(Figure3Program(40, 8), helpers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		batch, util int64
+		want        Decision
+	}{
+		{16, 0, UseGPU},
+		{16, 90, UseCPU}, // contended
+		{2, 0, UseCPU},   // unprofitable batch
+		{8, 39, UseGPU},  // just under both thresholds
+		{8, 40, UseCPU},  // at util threshold -> cpu
+	}
+	for _, c := range cases {
+		// Fresh average per case so prior samples don't bleed through.
+		helpers = Figure3Helpers(func() int64 { return batch }, func() int64 { return util }, 1)
+		vp, err = NewVMPolicy(Figure3Program(40, 8), helpers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, util = c.batch, c.util
+		if got := vp.Decide(int(c.batch)); got != c.want {
+			t.Errorf("batch=%d util=%d: got %v, want %v", c.batch, c.util, got, c.want)
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if UseCPU.String() != "CPU" || UseGPU.String() != "GPU" {
+		t.Fatal("Decision strings wrong")
+	}
+}
+
+// Property: every verified program terminates (forward-jump-only invariant).
+// Generate random-but-verifiable programs and confirm Run returns.
+func TestQuickVerifiedProgramsTerminate(t *testing.T) {
+	f := func(seed []uint8) bool {
+		p := Program{}
+		for i, b := range seed {
+			if len(p) >= 60 {
+				break
+			}
+			switch b % 5 {
+			case 0:
+				p = append(p, Instruction{Op: OpMovImm, Dst: b % NumRegs, Imm: int64(b)})
+			case 1:
+				p = append(p, Instruction{Op: OpAddImm, Dst: b % NumRegs, Imm: int64(b)})
+			case 2:
+				p = append(p, Instruction{Op: OpMulImm, Dst: b % NumRegs, Imm: 2})
+			case 3:
+				p = append(p, Instruction{Op: OpJgtImm, Dst: b % NumRegs, Imm: int64(i), Off: 1})
+			case 4:
+				p = append(p, Instruction{Op: OpSub, Dst: b % NumRegs, Src: (b / 5) % NumRegs})
+			}
+		}
+		// Pad so a trailing Off=1 jump still lands on an instruction.
+		p = append(p, Instruction{Op: OpMovImm, Dst: 0, Imm: 0}, Instruction{Op: OpExit})
+		if err := Verify(p, noHelpers()); err != nil {
+			return false
+		}
+		_, err := Run(p, noHelpers())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: moving average always lies within [min, max] of its window.
+func TestQuickMovingAverageBounded(t *testing.T) {
+	f := func(vals []uint16, w uint8) bool {
+		window := int(w%16) + 1
+		m := NewMovingAverage(window)
+		for i, v := range vals {
+			avg := m.Add(float64(v))
+			lo, hi := float64(v), float64(v)
+			start := i - window + 1
+			if start < 0 {
+				start = 0
+			}
+			for _, u := range vals[start : i+1] {
+				if float64(u) < lo {
+					lo = float64(u)
+				}
+				if float64(u) > hi {
+					hi = float64(u)
+				}
+			}
+			if avg < lo-1e-9 || avg > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Exercise every opcode, including the register-comparison jump variants.
+func TestRunAllOpcodes(t *testing.T) {
+	helpers := HelperSet{1: func([5]int64) int64 { return 7 }}
+	p := Program{
+		{Op: OpMovImm, Dst: 1, Imm: 10},
+		{Op: OpMovImm, Dst: 2, Imm: 10},
+		{Op: OpJeqX, Dst: 1, Src: 2, Off: 1},    // taken
+		{Op: OpMovImm, Dst: 0, Imm: -1},         // skipped
+		{Op: OpJgeX, Dst: 1, Src: 2, Off: 1},    // taken (equal)
+		{Op: OpMovImm, Dst: 0, Imm: -2},         // skipped
+		{Op: OpJltX, Dst: 2, Src: 1, Off: 1},    // not taken (equal)
+		{Op: OpAddImm, Dst: 3, Imm: 5},          // executed
+		{Op: OpJneImm, Dst: 3, Imm: 0, Off: 1},  // taken (5 != 0)
+		{Op: OpMovImm, Dst: 0, Imm: -3},         // skipped
+		{Op: OpJleImm, Dst: 3, Imm: 5, Off: 1},  // taken (5 <= 5)
+		{Op: OpMovImm, Dst: 0, Imm: -4},         // skipped
+		{Op: OpJgtImm, Dst: 3, Imm: 99, Off: 1}, // not taken
+		{Op: OpCall, Imm: 1},                    // r0 = 7
+		{Op: OpJmp, Off: 1},                     // skip the poison
+		{Op: OpMovImm, Dst: 0, Imm: -5},
+		{Op: OpExit},
+	}
+	got, err := Run(p, helpers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("result = %d, want 7", got)
+	}
+}
+
+func TestOpcodeAndErrorStrings(t *testing.T) {
+	if OpExit.String() != "exit" || OpCode(250).String() == "" {
+		t.Fatal("opcode strings wrong")
+	}
+	ve := &VerifyError{PC: 3, Reason: "nope"}
+	if ve.Error() == "" {
+		t.Fatal("empty VerifyError")
+	}
+	re := &RunError{PC: 1, Reason: "bad"}
+	if re.Error() == "" {
+		t.Fatal("empty RunError")
+	}
+}
+
+func TestAdaptiveUtilizationView(t *testing.T) {
+	clock := vtime.New()
+	a := NewAdaptive(AdaptiveConfig{Window: 2}, clock, func() int { return 30 })
+	a.Decide(1)
+	if got := a.Utilization(); got != 30 {
+		t.Fatalf("Utilization = %v, want 30", got)
+	}
+}
+
+func TestNewAdaptiveDefaults(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{CheckInterval: -1, Window: -1}, vtime.New(), func() int { return 0 })
+	if a.cfg.CheckInterval <= 0 || a.cfg.Window <= 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestVMPolicyRejectsUnverifiable(t *testing.T) {
+	if _, err := NewVMPolicy(Program{{Op: OpJmp, Off: -1}, {Op: OpExit}}, noHelpers()); err == nil {
+		t.Fatal("verifier bypassed")
+	}
+}

@@ -1,0 +1,302 @@
+package remoting
+
+import (
+	"fmt"
+	"sync"
+
+	"lakego/internal/boundary"
+	"lakego/internal/cuda"
+	"lakego/internal/gpu"
+	"lakego/internal/nvml"
+	"lakego/internal/shm"
+)
+
+// HighLevelHandler realizes one custom high-level API (§4.4). It runs in the
+// user domain with direct access to the CUDA API and the shared region, so
+// handlers can implement TensorFlow-style functionality that would be
+// impractical to port to kernel space. Returned values and blob travel back
+// in the response.
+type HighLevelHandler func(api *cuda.API, region *shm.Region, args []uint64, blob []byte) (vals []uint64, out []byte, result cuda.Result)
+
+// Daemon is lakeD: the trusted user-space process that listens for commands
+// from lakeLib, deserializes them, and executes the requested APIs against
+// the vendor library (§4: "This daemon must have access to the vendor's
+// library (e.g. cudart.so) to realize APIs requested by lakeLib").
+type Daemon struct {
+	api    *cuda.API
+	region *shm.Region
+	tr     *boundary.Transport
+
+	mu        sync.Mutex
+	highlevel map[string]HighLevelHandler
+	handled   int64
+}
+
+// NewDaemon creates a daemon serving the given CUDA API and shared region
+// over the transport.
+func NewDaemon(api *cuda.API, region *shm.Region, tr *boundary.Transport) *Daemon {
+	return &Daemon{
+		api:       api,
+		region:    region,
+		tr:        tr,
+		highlevel: make(map[string]HighLevelHandler),
+	}
+}
+
+// API exposes the daemon's CUDA binding (the "vendor library" it links).
+func (d *Daemon) API() *cuda.API { return d.api }
+
+// Region exposes the daemon's view of the lakeShm mapping.
+func (d *Daemon) Region() *shm.Region { return d.region }
+
+// Handled reports the number of commands served.
+func (d *Daemon) Handled() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.handled
+}
+
+// RegisterHighLevel installs a custom high-level API under name. Adding an
+// API requires exactly what §4.4 describes: a prototype on the lakeLib side
+// (Lib.CallHighLevel) and an implementation here.
+func (d *Daemon) RegisterHighLevel(name string, h HighLevelHandler) {
+	if name == "" || h == nil {
+		panic("remoting: RegisterHighLevel requires a name and handler")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.highlevel[name] = h
+}
+
+// PumpOne receives and serves a single pending command, sending its
+// response back through the transport. It reports whether a command was
+// pending.
+func (d *Daemon) PumpOne() bool {
+	frame, ok := d.tr.RecvInUser()
+	if !ok {
+		return false
+	}
+	resp := d.handleFrame(frame)
+	out, err := MarshalResponse(resp)
+	if err != nil {
+		// A response we built ourselves must marshal; failure is a bug.
+		panic(fmt.Sprintf("remoting: marshal response: %v", err))
+	}
+	if err := d.tr.SendToKernel(out); err != nil {
+		return true // transport closed mid-flight; drop, like a dead socket
+	}
+	d.mu.Lock()
+	d.handled++
+	d.mu.Unlock()
+	return true
+}
+
+func (d *Daemon) handleFrame(frame []byte) (resp *Response) {
+	cmd, err := UnmarshalCommand(frame)
+	if err != nil {
+		return &Response{Result: int32(cuda.ErrInvalidValue)}
+	}
+	// The daemon is a long-lived trusted process (§6.1); a buggy
+	// high-level handler or device kernel must fail the one request, not
+	// the daemon. Mirrors the sandboxing posture the paper suggests.
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{Seq: cmd.Seq, Result: int32(cuda.ErrUnknown)}
+		}
+	}()
+	return d.execute(cmd)
+}
+
+// arg returns cmd.Args[i] or 0 when absent; handlers validate semantics.
+func arg(cmd *Command, i int) uint64 {
+	if i < len(cmd.Args) {
+		return cmd.Args[i]
+	}
+	return 0
+}
+
+func (d *Daemon) execute(cmd *Command) *Response {
+	resp := &Response{Seq: cmd.Seq, Result: int32(cuda.Success)}
+	switch cmd.API {
+	case APICuInit:
+		resp.Result = int32(d.api.Init())
+
+	case APICuDeviceGetCount:
+		n, r := d.api.DeviceGetCount()
+		resp.Result = int32(r)
+		resp.Vals = []uint64{uint64(n)}
+
+	case APICuDeviceGetName:
+		name, r := d.api.DeviceGetName()
+		resp.Result = int32(r)
+		resp.Blob = []byte(name)
+
+	case APICuCtxCreate:
+		h, r := d.api.CtxCreate(cmd.Name)
+		resp.Result = int32(r)
+		resp.Vals = []uint64{h}
+
+	case APICuCtxDestroy:
+		resp.Result = int32(d.api.CtxDestroy(arg(cmd, 0)))
+
+	case APICuMemAlloc:
+		ptr, r := d.api.MemAlloc(int64(arg(cmd, 0)))
+		resp.Result = int32(r)
+		resp.Vals = []uint64{uint64(ptr)}
+
+	case APICuMemFree:
+		resp.Result = int32(d.api.MemFree(gpu.DevPtr(arg(cmd, 0))))
+
+	case APICuMemcpyHtoD:
+		resp.Result = int32(d.memcpyHtoD(cmd))
+
+	case APICuMemcpyDtoH:
+		resp.Result, resp.Blob = d.memcpyDtoH(cmd)
+
+	case APICuModuleLoad:
+		h, r := d.api.ModuleLoad(cmd.Name)
+		resp.Result = int32(r)
+		resp.Vals = []uint64{h}
+
+	case APICuModuleGetFunction:
+		h, r := d.api.ModuleGetFunction(arg(cmd, 0), cmd.Name)
+		resp.Result = int32(r)
+		resp.Vals = []uint64{h}
+
+	case APICuLaunchKernel:
+		if len(cmd.Args) < 2 {
+			resp.Result = int32(cuda.ErrInvalidValue)
+			break
+		}
+		resp.Result = int32(d.api.LaunchKernel(cmd.Args[0], cmd.Args[1], cmd.Args[2:]))
+
+	case APICuCtxSynchronize:
+		resp.Result = int32(d.api.CtxSynchronize(arg(cmd, 0)))
+
+	case APINvmlUtilization:
+		u := nvml.DeviceGetUtilizationRates(d.api.Device())
+		resp.Vals = []uint64{uint64(u.GPU), uint64(u.Memory)}
+
+	case APICuMemGetInfo:
+		free, total, r := d.api.MemGetInfo()
+		resp.Result = int32(r)
+		resp.Vals = []uint64{uint64(free), uint64(total)}
+
+	case APICuStreamCreate:
+		h, r := d.api.StreamCreate(arg(cmd, 0))
+		resp.Result = int32(r)
+		resp.Vals = []uint64{h}
+
+	case APICuStreamDestroy:
+		resp.Result = int32(d.api.StreamDestroy(arg(cmd, 0)))
+
+	case APICuStreamSynchronize:
+		resp.Result = int32(d.api.StreamSynchronize(arg(cmd, 0)))
+
+	case APICuMemcpyHtoDAsync:
+		resp.Result = int32(d.memcpyAsync(cmd, true))
+
+	case APICuMemcpyDtoHAsync:
+		resp.Result = int32(d.memcpyAsync(cmd, false))
+
+	case APICuLaunchKernelAsync:
+		if len(cmd.Args) < 3 {
+			resp.Result = int32(cuda.ErrInvalidValue)
+			break
+		}
+		resp.Result = int32(d.api.LaunchKernelAsync(cmd.Args[0], cmd.Args[1], cmd.Args[2], cmd.Args[3:]))
+
+	case APIHighLevel:
+		d.mu.Lock()
+		h, ok := d.highlevel[cmd.Name]
+		d.mu.Unlock()
+		if !ok {
+			resp.Result = int32(cuda.ErrNotFound)
+			break
+		}
+		vals, blob, r := h(d.api, d.region, cmd.Args, cmd.Blob)
+		resp.Result = int32(r)
+		resp.Vals, resp.Blob = vals, blob
+
+	default:
+		resp.Result = int32(cuda.ErrInvalidValue)
+	}
+	return resp
+}
+
+// memcpyHtoD supports both data paths of §4.1: zero-copy (source is a
+// lakeShm offset, args = [dst, shmOff, len, 1]) and inline (source rode in
+// cmd.Blob, args = [dst, 0, len, 0], the extra-copy path).
+func (d *Daemon) memcpyHtoD(cmd *Command) cuda.Result {
+	if len(cmd.Args) < 4 {
+		return cuda.ErrInvalidValue
+	}
+	dst := gpu.DevPtr(cmd.Args[0])
+	length := int64(cmd.Args[2])
+	if length < 0 || length > maxBlob {
+		return cuda.ErrInvalidValue
+	}
+	var src []byte
+	if cmd.Args[3] == 1 {
+		view, err := d.region.At(int64(cmd.Args[1]), length)
+		if err != nil {
+			return cuda.ErrInvalidValue
+		}
+		src = view
+	} else {
+		if int64(len(cmd.Blob)) < length {
+			return cuda.ErrInvalidValue
+		}
+		src = cmd.Blob[:length]
+	}
+	return d.api.MemcpyHtoD(dst, src)
+}
+
+// memcpyAsync serves the asynchronous copy APIs. Async copies support only
+// the lakeShm path (args = [devPtr, shmOff, len, stream]): an inline blob
+// cannot ride a response that has already been sent by the time the stream
+// drains.
+func (d *Daemon) memcpyAsync(cmd *Command, htod bool) cuda.Result {
+	if len(cmd.Args) < 4 {
+		return cuda.ErrInvalidValue
+	}
+	length := int64(cmd.Args[2])
+	if length < 0 || length > maxBlob {
+		return cuda.ErrInvalidValue
+	}
+	view, err := d.region.At(int64(cmd.Args[1]), length)
+	if err != nil {
+		return cuda.ErrInvalidValue
+	}
+	stream := cmd.Args[3]
+	if htod {
+		return d.api.MemcpyHtoDAsync(gpu.DevPtr(cmd.Args[0]), view, stream)
+	}
+	return d.api.MemcpyDtoHAsync(view, gpu.DevPtr(cmd.Args[0]), stream)
+}
+
+// memcpyDtoH mirrors memcpyHtoD for device-to-host copies: args =
+// [src, shmOff, len, viaShm].
+func (d *Daemon) memcpyDtoH(cmd *Command) (int32, []byte) {
+	if len(cmd.Args) < 4 {
+		return int32(cuda.ErrInvalidValue), nil
+	}
+	src := gpu.DevPtr(cmd.Args[0])
+	length := int64(cmd.Args[2])
+	if length < 0 || length > maxBlob {
+		return int32(cuda.ErrInvalidValue), nil
+	}
+	if cmd.Args[3] == 1 {
+		view, err := d.region.At(int64(cmd.Args[1]), length)
+		if err != nil {
+			return int32(cuda.ErrInvalidValue), nil
+		}
+		return int32(d.api.MemcpyDtoH(view, src)), nil
+	}
+	buf := make([]byte, length)
+	r := d.api.MemcpyDtoH(buf, src)
+	if r != cuda.Success {
+		return int32(r), nil
+	}
+	return int32(r), buf
+}

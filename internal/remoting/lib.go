@@ -1,0 +1,321 @@
+package remoting
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lakego/internal/boundary"
+	"lakego/internal/cuda"
+	"lakego/internal/gpu"
+	"lakego/internal/shm"
+)
+
+// ErrTransport reports a remoting transport failure (closed channel, lost
+// response).
+var ErrTransport = errors.New("remoting: transport failure")
+
+// Lib is lakeLib: the kernel-side module that exposes accelerator APIs as
+// symbols to kernel space. Each method below is one exported stub — same
+// name as the user-space API it remotes, per §4 ("to support the cuMemAlloc
+// CUDA API in kernel space, we must have a function with the same name in
+// lakeLib").
+//
+// Every call marshals a command, ships it through the boundary transport,
+// drives the daemon, and unmarshals the response, charging the channel's
+// modeled round-trip cost exactly once. Lib is safe for concurrent use.
+type Lib struct {
+	tr     *boundary.Transport
+	daemon *Daemon
+	region *shm.Region
+
+	seq atomic.Uint64
+
+	// callMu serializes the send/serve/receive exchange so concurrent
+	// kernel threads cannot interleave on the command socket and steal
+	// each other's responses (the prototype's Netlink usage is likewise
+	// serialized per socket).
+	callMu sync.Mutex
+
+	mu          sync.Mutex
+	calls       int64
+	remotedTime time.Duration
+}
+
+// NewLib creates the kernel-side stub library. The daemon is driven
+// synchronously from within calls, which keeps virtual-time accounting
+// deterministic while the full wire protocol still runs.
+func NewLib(tr *boundary.Transport, daemon *Daemon, region *shm.Region) *Lib {
+	return &Lib{tr: tr, daemon: daemon, region: region}
+}
+
+// Region returns the kernel-side view of the lakeShm mapping.
+func (l *Lib) Region() *shm.Region { return l.region }
+
+// Stats reports remoted call count and cumulative modeled channel time.
+func (l *Lib) Stats() (calls int64, channelTime time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.calls, l.remotedTime
+}
+
+// call performs one remoted invocation end to end.
+func (l *Lib) call(cmd *Command) (*Response, error) {
+	cmd.Seq = l.seq.Add(1)
+	frame, err := MarshalCommand(cmd)
+	if err != nil {
+		return nil, err
+	}
+	l.callMu.Lock()
+	defer l.callMu.Unlock()
+	if err := l.tr.SendToUser(frame); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTransport, err)
+	}
+	if !l.daemon.PumpOne() {
+		return nil, fmt.Errorf("%w: daemon did not observe command", ErrTransport)
+	}
+	respFrame, ok := l.tr.RecvInKernel()
+	if !ok {
+		return nil, fmt.Errorf("%w: no response", ErrTransport)
+	}
+	resp, err := UnmarshalResponse(respFrame)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Seq != cmd.Seq {
+		return nil, fmt.Errorf("%w: response seq %d for command %d",
+			ErrTransport, resp.Seq, cmd.Seq)
+	}
+	// Charge the channel's modeled cost for what actually crossed the
+	// boundary in both directions (Fig 6's size-dependent overhead).
+	d := l.tr.ChargeRoundTrip(len(frame) + len(respFrame))
+	l.mu.Lock()
+	l.calls++
+	l.remotedTime += d
+	l.mu.Unlock()
+	return resp, nil
+}
+
+func (l *Lib) callRes(cmd *Command) (cuda.Result, *Response) {
+	resp, err := l.call(cmd)
+	if err != nil {
+		return cuda.ErrUnknown, nil
+	}
+	return cuda.Result(resp.Result), resp
+}
+
+func val(resp *Response, i int) uint64 {
+	if resp == nil || i >= len(resp.Vals) {
+		return 0
+	}
+	return resp.Vals[i]
+}
+
+// CuInit remotes cuInit.
+func (l *Lib) CuInit() cuda.Result {
+	r, _ := l.callRes(&Command{API: APICuInit})
+	return r
+}
+
+// CuDeviceGetCount remotes cuDeviceGetCount.
+func (l *Lib) CuDeviceGetCount() (int, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuDeviceGetCount})
+	return int(val(resp, 0)), r
+}
+
+// CuDeviceGetName remotes cuDeviceGetName.
+func (l *Lib) CuDeviceGetName() (string, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuDeviceGetName})
+	if resp == nil {
+		return "", r
+	}
+	return string(resp.Blob), r
+}
+
+// CuCtxCreate remotes cuCtxCreate; client tags the context for utilization
+// attribution.
+func (l *Lib) CuCtxCreate(client string) (uint64, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuCtxCreate, Name: client})
+	return val(resp, 0), r
+}
+
+// CuCtxDestroy remotes cuCtxDestroy.
+func (l *Lib) CuCtxDestroy(ctx uint64) cuda.Result {
+	r, _ := l.callRes(&Command{API: APICuCtxDestroy, Args: []uint64{ctx}})
+	return r
+}
+
+// CuMemAlloc remotes cuMemAlloc.
+func (l *Lib) CuMemAlloc(size int64) (gpu.DevPtr, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuMemAlloc, Args: []uint64{uint64(size)}})
+	return gpu.DevPtr(val(resp, 0)), r
+}
+
+// CuMemGetInfo remotes cuMemGetInfo: free and total device memory.
+func (l *Lib) CuMemGetInfo() (free, total int64, r cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuMemGetInfo})
+	return int64(val(resp, 0)), int64(val(resp, 1)), r
+}
+
+// CuMemFree remotes cuMemFree.
+func (l *Lib) CuMemFree(ptr gpu.DevPtr) cuda.Result {
+	r, _ := l.callRes(&Command{API: APICuMemFree, Args: []uint64{uint64(ptr)}})
+	return r
+}
+
+// CuMemcpyHtoDShm copies from a lakeShm buffer to device memory — the
+// zero-copy path: only the offset crosses the boundary.
+func (l *Lib) CuMemcpyHtoDShm(dst gpu.DevPtr, src *shm.Buffer, n int64) cuda.Result {
+	if n > src.Size() {
+		return cuda.ErrInvalidValue
+	}
+	r, _ := l.callRes(&Command{
+		API:  APICuMemcpyHtoD,
+		Args: []uint64{uint64(dst), uint64(src.Offset()), uint64(n), 1},
+	})
+	return r
+}
+
+// CuMemcpyHtoD copies from an ordinary kernel buffer to device memory. The
+// payload rides inline in the command — the extra-copy path that §4.1 notes
+// still works "if applications do not use lakeShm ... this will just cause
+// extra data copies" (and the correspondingly larger Fig 6 charge).
+func (l *Lib) CuMemcpyHtoD(dst gpu.DevPtr, src []byte) cuda.Result {
+	r, _ := l.callRes(&Command{
+		API:  APICuMemcpyHtoD,
+		Args: []uint64{uint64(dst), 0, uint64(len(src)), 0},
+		Blob: src,
+	})
+	return r
+}
+
+// CuMemcpyDtoHShm copies device memory into a lakeShm buffer (zero-copy).
+func (l *Lib) CuMemcpyDtoHShm(dst *shm.Buffer, src gpu.DevPtr, n int64) cuda.Result {
+	if n > dst.Size() {
+		return cuda.ErrInvalidValue
+	}
+	r, _ := l.callRes(&Command{
+		API:  APICuMemcpyDtoH,
+		Args: []uint64{uint64(src), uint64(dst.Offset()), uint64(n), 1},
+	})
+	return r
+}
+
+// CuMemcpyDtoH copies device memory into an ordinary kernel buffer; the data
+// rides back inline in the response (extra copy).
+func (l *Lib) CuMemcpyDtoH(dst []byte, src gpu.DevPtr) cuda.Result {
+	r, resp := l.callRes(&Command{
+		API:  APICuMemcpyDtoH,
+		Args: []uint64{uint64(src), 0, uint64(len(dst)), 0},
+	})
+	if r == cuda.Success && resp != nil {
+		copy(dst, resp.Blob)
+	}
+	return r
+}
+
+// CuModuleLoad remotes cuModuleLoad.
+func (l *Lib) CuModuleLoad(path string) (uint64, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuModuleLoad, Name: path})
+	return val(resp, 0), r
+}
+
+// CuModuleGetFunction remotes cuModuleGetFunction.
+func (l *Lib) CuModuleGetFunction(module uint64, name string) (uint64, cuda.Result) {
+	r, resp := l.callRes(&Command{
+		API:  APICuModuleGetFunction,
+		Args: []uint64{module},
+		Name: name,
+	})
+	return val(resp, 0), r
+}
+
+// CuLaunchKernel remotes cuLaunchKernel.
+func (l *Lib) CuLaunchKernel(ctx, fn uint64, args []uint64) cuda.Result {
+	all := make([]uint64, 0, 2+len(args))
+	all = append(all, ctx, fn)
+	all = append(all, args...)
+	r, _ := l.callRes(&Command{API: APICuLaunchKernel, Args: all})
+	return r
+}
+
+// CuCtxSynchronize remotes cuCtxSynchronize.
+func (l *Lib) CuCtxSynchronize(ctx uint64) cuda.Result {
+	r, _ := l.callRes(&Command{API: APICuCtxSynchronize, Args: []uint64{ctx}})
+	return r
+}
+
+// NvmlGetUtilization remotes the NVML utilization query policies sample
+// (Fig 3's "LAKE-remoted nvml API").
+func (l *Lib) NvmlGetUtilization() (gpuPct, memPct int, r cuda.Result) {
+	r, resp := l.callRes(&Command{API: APINvmlUtilization})
+	return int(val(resp, 0)), int(val(resp, 1)), r
+}
+
+// CuStreamCreate remotes cuStreamCreate on the given context.
+func (l *Lib) CuStreamCreate(ctx uint64) (uint64, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuStreamCreate, Args: []uint64{ctx}})
+	return val(resp, 0), r
+}
+
+// CuStreamDestroy remotes cuStreamDestroy.
+func (l *Lib) CuStreamDestroy(stream uint64) cuda.Result {
+	r, _ := l.callRes(&Command{API: APICuStreamDestroy, Args: []uint64{stream}})
+	return r
+}
+
+// CuStreamSynchronize remotes cuStreamSynchronize, draining the stream's
+// virtual timeline.
+func (l *Lib) CuStreamSynchronize(stream uint64) cuda.Result {
+	r, _ := l.callRes(&Command{API: APICuStreamSynchronize, Args: []uint64{stream}})
+	return r
+}
+
+// CuMemcpyHtoDShmAsync enqueues a zero-copy host-to-device transfer on a
+// stream; pair with CuStreamSynchronize before launching dependent work
+// synchronously, or order with further async ops on the same stream.
+func (l *Lib) CuMemcpyHtoDShmAsync(dst gpu.DevPtr, src *shm.Buffer, n int64, stream uint64) cuda.Result {
+	if n > src.Size() {
+		return cuda.ErrInvalidValue
+	}
+	r, _ := l.callRes(&Command{
+		API:  APICuMemcpyHtoDAsync,
+		Args: []uint64{uint64(dst), uint64(src.Offset()), uint64(n), stream},
+	})
+	return r
+}
+
+// CuMemcpyDtoHShmAsync enqueues a zero-copy device-to-host transfer on a
+// stream. The shm buffer must not be read before the stream synchronizes.
+func (l *Lib) CuMemcpyDtoHShmAsync(dst *shm.Buffer, src gpu.DevPtr, n int64, stream uint64) cuda.Result {
+	if n > dst.Size() {
+		return cuda.ErrInvalidValue
+	}
+	r, _ := l.callRes(&Command{
+		API:  APICuMemcpyDtoHAsync,
+		Args: []uint64{uint64(src), uint64(dst.Offset()), uint64(n), stream},
+	})
+	return r
+}
+
+// CuLaunchKernelAsync remotes a kernel launch onto a stream.
+func (l *Lib) CuLaunchKernelAsync(ctx, fn, stream uint64, args []uint64) cuda.Result {
+	all := make([]uint64, 0, 3+len(args))
+	all = append(all, ctx, fn, stream)
+	all = append(all, args...)
+	r, _ := l.callRes(&Command{API: APICuLaunchKernelAsync, Args: all})
+	return r
+}
+
+// CallHighLevel invokes a custom high-level API registered in lakeD under
+// name (§4.4). args and blob are handler-defined; large inputs should be
+// staged in lakeShm and referenced by offset in args.
+func (l *Lib) CallHighLevel(name string, args []uint64, blob []byte) ([]uint64, []byte, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APIHighLevel, Name: name, Args: args, Blob: blob})
+	if resp == nil {
+		return nil, nil, r
+	}
+	return resp.Vals, resp.Blob, r
+}

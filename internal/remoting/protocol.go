@@ -1,0 +1,325 @@
+// Package remoting implements LAKE's API remoting system: the wire protocol
+// between kernel and user space, the kernel-side stub library (lakeLib) and
+// the user-space daemon that realizes APIs (lakeD).
+//
+// §4 of the paper: "lakeLib is a kernel module that exposes APIs such as the
+// vendor's user space library of an accelerator as symbols to kernel space
+// ... Each of these functions does three things: serialize an API identifier
+// and all of API parameters into a command, transmit commands through some
+// communication channel for remote execution in user space and, finally,
+// wait for a response." That is exactly the structure here: every stub in
+// Lib marshals a Command, ships the real bytes over a boundary.Transport,
+// lakeD deserializes and executes against the CUDA API, and the response
+// travels back the same way. The paper's implementation resembles "an RPC
+// system" (§6); so does this one, deliberately.
+package remoting
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// APIID identifies a remoted API in command headers.
+type APIID uint32
+
+// The remoted API surface: the CUDA driver subset the prototype exposes
+// (§6: "The LAKE API remoting system provides kernel space with the CUDA
+// driver API version 11.0") plus the escape hatch for custom high-level
+// APIs such as the TensorFlow-backed calls of §4.4.
+const (
+	APIInvalid APIID = iota
+	APICuInit
+	APICuDeviceGetCount
+	APICuDeviceGetName
+	APICuCtxCreate
+	APICuCtxDestroy
+	APICuMemAlloc
+	APICuMemFree
+	APICuMemcpyHtoD
+	APICuMemcpyDtoH
+	APICuModuleLoad
+	APICuModuleGetFunction
+	APICuLaunchKernel
+	APICuCtxSynchronize
+	APINvmlUtilization
+	APIHighLevel
+	APICuStreamCreate
+	APICuStreamDestroy
+	APICuStreamSynchronize
+	APICuMemcpyHtoDAsync
+	APICuMemcpyDtoHAsync
+	APICuLaunchKernelAsync
+	APICuMemGetInfo
+)
+
+var apiNames = map[APIID]string{
+	APICuInit:              "cuInit",
+	APICuDeviceGetCount:    "cuDeviceGetCount",
+	APICuDeviceGetName:     "cuDeviceGetName",
+	APICuCtxCreate:         "cuCtxCreate",
+	APICuCtxDestroy:        "cuCtxDestroy",
+	APICuMemAlloc:          "cuMemAlloc",
+	APICuMemFree:           "cuMemFree",
+	APICuMemcpyHtoD:        "cuMemcpyHtoD",
+	APICuMemcpyDtoH:        "cuMemcpyDtoH",
+	APICuModuleLoad:        "cuModuleLoad",
+	APICuModuleGetFunction: "cuModuleGetFunction",
+	APICuLaunchKernel:      "cuLaunchKernel",
+	APICuCtxSynchronize:    "cuCtxSynchronize",
+	APINvmlUtilization:     "nvmlDeviceGetUtilizationRates",
+	APIHighLevel:           "lakeHighLevel",
+	APICuStreamCreate:      "cuStreamCreate",
+	APICuStreamDestroy:     "cuStreamDestroy",
+	APICuStreamSynchronize: "cuStreamSynchronize",
+	APICuMemcpyHtoDAsync:   "cuMemcpyHtoDAsync",
+	APICuMemcpyDtoHAsync:   "cuMemcpyDtoHAsync",
+	APICuLaunchKernelAsync: "cuLaunchKernel(stream)",
+	APICuMemGetInfo:        "cuMemGetInfo",
+}
+
+func (id APIID) String() string {
+	if s, ok := apiNames[id]; ok {
+		return s
+	}
+	return fmt.Sprintf("api(%d)", uint32(id))
+}
+
+// Command is one serialized kernel->user API invocation.
+type Command struct {
+	// API selects the handler in lakeD.
+	API APIID
+	// Seq matches responses to commands.
+	Seq uint64
+	// Args carries scalar parameters: handles, device pointers, sizes,
+	// shm offsets.
+	Args []uint64
+	// Name carries symbol or module names, and selects the handler for
+	// APIHighLevel commands.
+	Name string
+	// Blob carries inline payload for callers that bypass lakeShm (the
+	// double-copy path §4.1 warns about).
+	Blob []byte
+}
+
+// Response is one serialized user->kernel API completion.
+type Response struct {
+	Seq    uint64
+	Result int32
+	Vals   []uint64
+	Blob   []byte
+}
+
+// Wire format limits; commands beyond these indicate a corrupted frame.
+const (
+	maxArgs = 1 << 12
+	maxName = 1 << 10
+	maxBlob = 64 << 20
+)
+
+// ErrShortFrame reports a truncated or corrupt wire frame.
+var ErrShortFrame = errors.New("remoting: short or corrupt frame")
+
+const (
+	cmdMagic  = 0xC1
+	respMagic = 0xE1
+)
+
+// MarshalCommand encodes c into a wire frame.
+func MarshalCommand(c *Command) ([]byte, error) {
+	if len(c.Args) > maxArgs || len(c.Name) > maxName || len(c.Blob) > maxBlob {
+		return nil, fmt.Errorf("remoting: command exceeds wire limits (args=%d name=%d blob=%d)",
+			len(c.Args), len(c.Name), len(c.Blob))
+	}
+	n := 1 + 4 + 8 + 2 + 8*len(c.Args) + 2 + len(c.Name) + 4 + len(c.Blob)
+	buf := make([]byte, 0, n)
+	buf = append(buf, cmdMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.API))
+	buf = binary.LittleEndian.AppendUint64(buf, c.Seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Args)))
+	for _, a := range c.Args {
+		buf = binary.LittleEndian.AppendUint64(buf, a)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Name)))
+	buf = append(buf, c.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Blob)))
+	buf = append(buf, c.Blob...)
+	return buf, nil
+}
+
+// UnmarshalCommand decodes a wire frame produced by MarshalCommand.
+func UnmarshalCommand(frame []byte) (*Command, error) {
+	r := reader{buf: frame}
+	if m, err := r.u8(); err != nil || m != cmdMagic {
+		return nil, ErrShortFrame
+	}
+	api, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	nargs, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if nargs > maxArgs {
+		return nil, ErrShortFrame
+	}
+	args := make([]uint64, nargs)
+	for i := range args {
+		if args[i], err = r.u64(); err != nil {
+			return nil, err
+		}
+	}
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := r.blob()
+	if err != nil {
+		return nil, err
+	}
+	return &Command{API: APIID(api), Seq: seq, Args: args, Name: name, Blob: blob}, nil
+}
+
+// MarshalResponse encodes r into a wire frame.
+func MarshalResponse(resp *Response) ([]byte, error) {
+	if len(resp.Vals) > maxArgs || len(resp.Blob) > maxBlob {
+		return nil, fmt.Errorf("remoting: response exceeds wire limits")
+	}
+	n := 1 + 8 + 4 + 2 + 8*len(resp.Vals) + 4 + len(resp.Blob)
+	buf := make([]byte, 0, n)
+	buf = append(buf, respMagic)
+	buf = binary.LittleEndian.AppendUint64(buf, resp.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(resp.Result))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(resp.Vals)))
+	for _, v := range resp.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Blob)))
+	buf = append(buf, resp.Blob...)
+	return buf, nil
+}
+
+// UnmarshalResponse decodes a wire frame produced by MarshalResponse.
+func UnmarshalResponse(frame []byte) (*Response, error) {
+	r := reader{buf: frame}
+	if m, err := r.u8(); err != nil || m != respMagic {
+		return nil, ErrShortFrame
+	}
+	seq, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	nvals, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if nvals > maxArgs {
+		return nil, ErrShortFrame
+	}
+	vals := make([]uint64, nvals)
+	for i := range vals {
+		if vals[i], err = r.u64(); err != nil {
+			return nil, err
+		}
+	}
+	blob, err := r.blob()
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Seq: seq, Result: int32(res), Vals: vals, Blob: blob}, nil
+}
+
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) need(n int) error {
+	if r.pos+n > len(r.buf) {
+		return ErrShortFrame
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *reader) u16() (int, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return int(v), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if n > maxName {
+		return "", ErrShortFrame
+	}
+	if err := r.need(n); err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s, nil
+}
+
+func (r *reader) blob() ([]byte, error) {
+	n32, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n32 > maxBlob || n32 > math.MaxInt32 {
+		return nil, ErrShortFrame
+	}
+	n := int(n32)
+	if err := r.need(n); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.pos:])
+	r.pos += n
+	return b, nil
+}

@@ -1,0 +1,133 @@
+package remoting
+
+import (
+	"testing"
+
+	"lakego/internal/cuda"
+)
+
+func TestRemotedStreamLifecycle(t *testing.T) {
+	s := newStack(t)
+	s.lib.CuInit()
+	ctx, _ := s.lib.CuCtxCreate("async")
+	stream, r := s.lib.CuStreamCreate(ctx)
+	if r != cuda.Success {
+		t.Fatalf("CuStreamCreate = %v", r)
+	}
+	if r := s.lib.CuStreamSynchronize(stream); r != cuda.Success {
+		t.Fatalf("sync empty stream = %v", r)
+	}
+	if r := s.lib.CuStreamDestroy(stream); r != cuda.Success {
+		t.Fatalf("destroy = %v", r)
+	}
+	if r := s.lib.CuStreamDestroy(stream); r != cuda.ErrInvalidHandle {
+		t.Fatalf("double destroy = %v, want ErrInvalidHandle", r)
+	}
+	if _, r := s.lib.CuStreamCreate(999); r != cuda.ErrInvalidContext {
+		t.Fatalf("stream on bad ctx = %v", r)
+	}
+}
+
+func TestRemotedAsyncVecAdd(t *testing.T) {
+	s := newStack(t)
+	s.lib.CuInit()
+	ctx, _ := s.lib.CuCtxCreate("async")
+	mod, _ := s.lib.CuModuleLoad("m")
+	fn, _ := s.lib.CuModuleGetFunction(mod, "vecadd")
+	stream, _ := s.lib.CuStreamCreate(ctx)
+
+	const n = 32
+	in, _ := s.region.Alloc(4 * n)
+	out, _ := s.region.Alloc(4 * n)
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	cuda.PutFloat32s(in.Bytes(), vals)
+	da, _ := s.lib.CuMemAlloc(4 * n)
+	dc, _ := s.lib.CuMemAlloc(4 * n)
+
+	if r := s.lib.CuMemcpyHtoDShmAsync(da, in, 4*n, stream); r != cuda.Success {
+		t.Fatalf("HtoD async = %v", r)
+	}
+	if r := s.lib.CuLaunchKernelAsync(ctx, fn, stream, []uint64{uint64(da), uint64(da), uint64(dc), n}); r != cuda.Success {
+		t.Fatalf("launch async = %v", r)
+	}
+	if r := s.lib.CuMemcpyDtoHShmAsync(out, dc, 4*n, stream); r != cuda.Success {
+		t.Fatalf("DtoH async = %v", r)
+	}
+	if r := s.lib.CuStreamSynchronize(stream); r != cuda.Success {
+		t.Fatalf("sync = %v", r)
+	}
+	got, _ := cuda.Float32s(out.Bytes(), n)
+	for i := range got {
+		if got[i] != float32(2*i) {
+			t.Fatalf("out[%d] = %v, want %v", i, got[i], float32(2*i))
+		}
+	}
+}
+
+// Async device time accrues on the stream timeline, not the caller's clock:
+// a large async copy must not advance virtual time until synchronize, and
+// the sync sequence must cost at least as much device time as async.
+func TestAsyncOverlapsDeviceTime(t *testing.T) {
+	s := newStack(t)
+	s.lib.CuInit()
+	ctx, _ := s.lib.CuCtxCreate("async")
+	stream, _ := s.lib.CuStreamCreate(ctx)
+	const n = 768 << 10 // ~65µs of PCIe time
+	buf, err := s.region.Alloc(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, _ := s.lib.CuMemAlloc(n)
+
+	before := s.clock.Now()
+	if r := s.lib.CuMemcpyHtoDShmAsync(dp, buf, n, stream); r != cuda.Success {
+		t.Fatal(r)
+	}
+	afterEnqueue := s.clock.Now() - before
+	// Only the command round trip is charged at enqueue, not the copy.
+	if afterEnqueue > 40*1000 { // 40µs
+		t.Fatalf("async enqueue advanced clock by %v, want channel cost only", afterEnqueue)
+	}
+	s.lib.CuStreamSynchronize(stream)
+	total := s.clock.Now() - before
+	if total < 90*1000 { // enqueue roundtrip + ~65µs transfer
+		t.Fatalf("after sync only %v elapsed, transfer time lost", total)
+	}
+}
+
+func TestAsyncErrorPaths(t *testing.T) {
+	s := newStack(t)
+	s.lib.CuInit()
+	ctx, _ := s.lib.CuCtxCreate("a")
+	stream, _ := s.lib.CuStreamCreate(ctx)
+	buf, _ := s.region.Alloc(64)
+	if r := s.lib.CuMemcpyHtoDShmAsync(1, buf, 128, stream); r != cuda.ErrInvalidValue {
+		t.Fatalf("oversized async copy = %v", r)
+	}
+	if r := s.lib.CuMemcpyHtoDShmAsync(1, buf, 64, 12345); r != cuda.ErrInvalidHandle {
+		t.Fatalf("bad stream = %v", r)
+	}
+	if r := s.lib.CuLaunchKernelAsync(ctx, 999, stream, nil); r != cuda.ErrInvalidHandle {
+		t.Fatalf("bad fn = %v", r)
+	}
+	if r := s.lib.CuStreamSynchronize(777); r != cuda.ErrInvalidHandle {
+		t.Fatalf("sync bad stream = %v", r)
+	}
+}
+
+func TestRemotedMemGetInfo(t *testing.T) {
+	s := newStack(t)
+	s.lib.CuInit()
+	free0, total, r := s.lib.CuMemGetInfo()
+	if r != cuda.Success || total <= 0 || free0 != total {
+		t.Fatalf("MemGetInfo = %d/%d, %v", free0, total, r)
+	}
+	s.lib.CuMemAlloc(1 << 20)
+	free1, _, _ := s.lib.CuMemGetInfo()
+	if free1 != free0-(1<<20) {
+		t.Fatalf("free after alloc = %d, want %d", free1, free0-(1<<20))
+	}
+}

@@ -1,0 +1,111 @@
+// Package ringbuf provides the fixed-capacity circular buffer that backs the
+// LAKE feature registry window (§5.1: "Feature vectors are stored in memory
+// in a circular buffer sized according to the window parameter").
+package ringbuf
+
+import "fmt"
+
+// Ring is a fixed-capacity FIFO ring buffer. When full, Push evicts the
+// oldest element. The zero value is unusable; construct with New.
+//
+// Ring is not safe for concurrent use; the feature registry guards it.
+type Ring[T any] struct {
+	buf   []T
+	start int // index of oldest element
+	n     int // number of live elements
+}
+
+// New returns a ring with the given capacity. Capacity must be positive.
+func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ringbuf: capacity %d must be positive", capacity))
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of live elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap returns the fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Full reports whether the next Push will evict.
+func (r *Ring[T]) Full() bool { return r.n == len(r.buf) }
+
+// Push appends v. If the ring is full it evicts and returns the oldest
+// element with evicted=true.
+func (r *Ring[T]) Push(v T) (old T, evicted bool) {
+	if r.n == len(r.buf) {
+		old = r.buf[r.start]
+		r.buf[r.start] = v
+		r.start = (r.start + 1) % len(r.buf)
+		return old, true
+	}
+	r.buf[(r.start+r.n)%len(r.buf)] = v
+	r.n++
+	return old, false
+}
+
+// At returns the i-th element counting from the oldest (0) to the newest
+// (Len()-1). It panics if i is out of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("ringbuf: index %d out of range [0,%d)", i, r.n))
+	}
+	return r.buf[(r.start+i)%len(r.buf)]
+}
+
+// Newest returns the most recently pushed element.
+// ok is false when the ring is empty.
+func (r *Ring[T]) Newest() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	return r.At(r.n - 1), true
+}
+
+// PopOldest removes and returns the oldest element.
+// ok is false when the ring is empty.
+func (r *Ring[T]) PopOldest() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	v = r.buf[r.start]
+	var zero T
+	r.buf[r.start] = zero
+	r.start = (r.start + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// DropWhile removes elements from the oldest end while pred holds, returning
+// the number removed. The registry uses it for truncate_features(ts).
+func (r *Ring[T]) DropWhile(pred func(T) bool) int {
+	dropped := 0
+	for r.n > 0 && pred(r.buf[r.start]) {
+		var zero T
+		r.buf[r.start] = zero
+		r.start = (r.start + 1) % len(r.buf)
+		r.n--
+		dropped++
+	}
+	return dropped
+}
+
+// Snapshot returns the live elements oldest-first in a newly allocated slice.
+func (r *Ring[T]) Snapshot() []T {
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+// Clear removes all elements.
+func (r *Ring[T]) Clear() {
+	var zero T
+	for i := range r.buf {
+		r.buf[i] = zero
+	}
+	r.start, r.n = 0, 0
+}

@@ -1,0 +1,147 @@
+package ringbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushAndAt(t *testing.T) {
+	r := New[int](4)
+	for i := 1; i <= 3; i++ {
+		if _, ev := r.Push(i); ev {
+			t.Fatalf("Push(%d) evicted before full", i)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", r.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if got := r.At(i); got != i+1 {
+			t.Fatalf("At(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestPushEvictsOldestWhenFull(t *testing.T) {
+	r := New[int](3)
+	for i := 1; i <= 3; i++ {
+		r.Push(i)
+	}
+	old, evicted := r.Push(4)
+	if !evicted || old != 1 {
+		t.Fatalf("Push(4) = (%d, %v), want (1, true)", old, evicted)
+	}
+	want := []int{2, 3, 4}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Fatalf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestNewestAndPopOldest(t *testing.T) {
+	r := New[string](2)
+	if _, ok := r.Newest(); ok {
+		t.Fatal("Newest() on empty ring reported ok")
+	}
+	if _, ok := r.PopOldest(); ok {
+		t.Fatal("PopOldest() on empty ring reported ok")
+	}
+	r.Push("a")
+	r.Push("b")
+	if v, _ := r.Newest(); v != "b" {
+		t.Fatalf("Newest() = %q, want b", v)
+	}
+	if v, _ := r.PopOldest(); v != "a" {
+		t.Fatalf("PopOldest() = %q, want a", v)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", r.Len())
+	}
+}
+
+func TestDropWhile(t *testing.T) {
+	r := New[int](8)
+	for i := 0; i < 8; i++ {
+		r.Push(i)
+	}
+	n := r.DropWhile(func(v int) bool { return v < 5 })
+	if n != 5 {
+		t.Fatalf("DropWhile removed %d, want 5", n)
+	}
+	if got := r.Snapshot(); len(got) != 3 || got[0] != 5 || got[2] != 7 {
+		t.Fatalf("Snapshot() = %v, want [5 6 7]", got)
+	}
+}
+
+func TestDropWhileAll(t *testing.T) {
+	r := New[int](4)
+	r.Push(1)
+	r.Push(2)
+	if n := r.DropWhile(func(int) bool { return true }); n != 2 {
+		t.Fatalf("DropWhile = %d, want 2", n)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", r.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	r := New[int](4)
+	r.Push(1)
+	r.Clear()
+	if r.Len() != 0 || r.Full() {
+		t.Fatalf("after Clear: Len=%d Full=%v", r.Len(), r.Full())
+	}
+	r.Push(9)
+	if got := r.At(0); got != 9 {
+		t.Fatalf("At(0) after Clear+Push = %d, want 9", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(0) on empty ring did not panic")
+		}
+	}()
+	New[int](1).At(0)
+}
+
+func TestNewZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+// Property: a ring of capacity c holds exactly the last min(len(xs), c)
+// values pushed, in push order.
+func TestQuickKeepsSuffix(t *testing.T) {
+	f := func(xs []int32, capRaw uint8) bool {
+		c := int(capRaw%31) + 1
+		r := New[int32](c)
+		for _, x := range xs {
+			r.Push(x)
+		}
+		keep := len(xs)
+		if keep > c {
+			keep = c
+		}
+		snap := r.Snapshot()
+		if len(snap) != keep {
+			return false
+		}
+		for i := 0; i < keep; i++ {
+			if snap[i] != xs[len(xs)-keep+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

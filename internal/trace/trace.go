@@ -1,0 +1,193 @@
+// Package trace synthesizes the block-I/O traces of the LinnOS end-to-end
+// study (§7.1, Table 4).
+//
+// The original LinnOS traces are not public; the paper generates substitutes
+// "with similar characteristics based on parameters presented in the paper,
+// using an exponential distribution for inter-arrival time, a lognormal
+// distribution for I/O size and a uniform distribution for I/O offset", and
+// "rerates" them by scaling inter-arrival times to raise IOPS. This package
+// does exactly that, with profiles parameterized to reproduce Table 4.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Request is one block I/O in a trace.
+type Request struct {
+	// Arrival is the absolute issue time from trace start.
+	Arrival time.Duration
+	// Size is the transfer length in bytes.
+	Size int64
+	// Offset is the starting byte offset on the device.
+	Offset int64
+	// Write distinguishes writes from reads.
+	Write bool
+}
+
+// Profile parameterizes a synthetic trace family.
+type Profile struct {
+	// Name labels the trace (Azure, Bing-I, Cosmos).
+	Name string
+	// AvgIOPS sets the exponential inter-arrival mean (1/AvgIOPS).
+	AvgIOPS float64
+	// ReadKB / WriteKB are mean I/O sizes in KiB (lognormal).
+	ReadKB, WriteKB float64
+	// MaxArrival clips inter-arrival gaps (Table 4's max arrival time).
+	MaxArrival time.Duration
+	// WriteFrac is the fraction of write requests.
+	WriteFrac float64
+	// SizeSigma is the lognormal shape parameter for sizes.
+	SizeSigma float64
+	// DeviceBytes bounds the uniform offset distribution.
+	DeviceBytes int64
+}
+
+// The three enterprise trace profiles of Table 4, already rerated to double
+// the IOPS of the LinnOS originals for Azure and Bing-I ("we rerate the
+// traces presented as enterprise-level in the original work by doubling the
+// average IOPS of the traces with smaller I/O sizes ... The Cosmos trace was
+// not rerated").
+func Azure() Profile {
+	return Profile{
+		Name: "Azure", AvgIOPS: 26000, ReadKB: 30, WriteKB: 19,
+		MaxArrival: 324 * time.Microsecond, WriteFrac: 0.35,
+		SizeSigma: 0.7, DeviceBytes: 900 << 30,
+	}
+}
+
+// Bing-I profile (Table 4 row 2).
+func BingI() Profile {
+	return Profile{
+		Name: "Bing-I", AvgIOPS: 4800, ReadKB: 73, WriteKB: 59,
+		MaxArrival: 1800 * time.Microsecond, WriteFrac: 0.30,
+		SizeSigma: 0.7, DeviceBytes: 900 << 30,
+	}
+}
+
+// Cosmos profile (Table 4 row 3).
+func Cosmos() Profile {
+	return Profile{
+		Name: "Cosmos", AvgIOPS: 2500, ReadKB: 657, WriteKB: 609,
+		MaxArrival: 1600 * time.Microsecond, WriteFrac: 0.40,
+		SizeSigma: 0.5, DeviceBytes: 900 << 30,
+	}
+}
+
+// Profiles returns the three Table 4 profiles in row order.
+func Profiles() []Profile { return []Profile{Azure(), BingI(), Cosmos()} }
+
+// Rerate returns a copy of p with IOPS scaled by factor, the paper's
+// technique for stressing faster devices (the Mixed+ workload rerates all
+// traces to three times their IOPS).
+func (p Profile) Rerate(factor float64) Profile {
+	p.AvgIOPS *= factor
+	return p
+}
+
+// Generate synthesizes n requests deterministically from seed.
+func (p Profile) Generate(seed int64, n int) []Request {
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	var now time.Duration
+	meanGap := time.Duration(float64(time.Second) / p.AvgIOPS)
+	for i := range reqs {
+		gap := time.Duration(rng.ExpFloat64() * float64(meanGap))
+		if p.MaxArrival > 0 && gap > p.MaxArrival {
+			gap = p.MaxArrival
+		}
+		now += gap
+		write := rng.Float64() < p.WriteFrac
+		meanKB := p.ReadKB
+		if write {
+			meanKB = p.WriteKB
+		}
+		size := lognormalBytes(rng, meanKB*1024, p.SizeSigma)
+		offset := rng.Int63n(maxInt64(p.DeviceBytes-size, 1))
+		reqs[i] = Request{Arrival: now, Size: size, Offset: offset, Write: write}
+	}
+	return reqs
+}
+
+// lognormalBytes draws a lognormal size with the given mean (bytes) and
+// shape sigma, rounded up to 4 KiB blocks and floored at one block.
+func lognormalBytes(rng *rand.Rand, mean, sigma float64) int64 {
+	mu := math.Log(mean) - sigma*sigma/2
+	v := math.Exp(mu + sigma*rng.NormFloat64())
+	blocks := int64(math.Ceil(v / 4096))
+	if blocks < 1 {
+		blocks = 1
+	}
+	return blocks * 4096
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Stats summarizes a trace the way Table 4 reports it.
+type Stats struct {
+	Requests     int
+	AvgIOPS      float64
+	AvgReadKB    float64
+	AvgWriteKB   float64
+	MinArrival   time.Duration
+	MaxArrival   time.Duration
+	WritePercent float64
+}
+
+// Measure computes Table 4-style statistics for a trace.
+func Measure(reqs []Request) Stats {
+	if len(reqs) == 0 {
+		return Stats{}
+	}
+	var s Stats
+	s.Requests = len(reqs)
+	var readBytes, writeBytes int64
+	var reads, writes int
+	s.MinArrival = time.Duration(math.MaxInt64)
+	prev := time.Duration(0)
+	for _, r := range reqs {
+		gap := r.Arrival - prev
+		prev = r.Arrival
+		if gap < s.MinArrival {
+			s.MinArrival = gap
+		}
+		if gap > s.MaxArrival {
+			s.MaxArrival = gap
+		}
+		if r.Write {
+			writes++
+			writeBytes += r.Size
+		} else {
+			reads++
+			readBytes += r.Size
+		}
+	}
+	total := reqs[len(reqs)-1].Arrival
+	if total > 0 {
+		s.AvgIOPS = float64(len(reqs)) / total.Seconds()
+	}
+	if reads > 0 {
+		s.AvgReadKB = float64(readBytes) / float64(reads) / 1024
+	}
+	if writes > 0 {
+		s.AvgWriteKB = float64(writeBytes) / float64(writes) / 1024
+	}
+	s.WritePercent = 100 * float64(writes) / float64(len(reqs))
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d reqs, %.0f IOPS, read %.0fKB / write %.0fKB, arrival %v..%v",
+		s.Requests, s.AvgIOPS, s.AvgReadKB, s.AvgWriteKB, s.MinArrival, s.MaxArrival)
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Azure().Generate(1, 100)
+	b := Azure().Generate(1, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	c := Azure().Generate(2, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	if got := Azure().Generate(1, 0); got != nil {
+		t.Fatalf("Generate(0) = %v, want nil", got)
+	}
+}
+
+func TestArrivalsMonotonic(t *testing.T) {
+	reqs := BingI().Generate(3, 1000)
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival {
+			t.Fatalf("arrival %d (%v) before %d (%v)", i, reqs[i].Arrival, i-1, reqs[i-1].Arrival)
+		}
+	}
+}
+
+func TestSizesAreBlockAligned(t *testing.T) {
+	for _, r := range Cosmos().Generate(7, 500) {
+		if r.Size <= 0 || r.Size%4096 != 0 {
+			t.Fatalf("size %d not positive 4KiB-aligned", r.Size)
+		}
+		if r.Offset < 0 || r.Offset >= Cosmos().DeviceBytes {
+			t.Fatalf("offset %d outside device", r.Offset)
+		}
+	}
+}
+
+// Table 4's characteristics must hold approximately for each profile.
+func TestTable4Characteristics(t *testing.T) {
+	cases := []struct {
+		p          Profile
+		iops       float64
+		readKB     float64
+		writeKB    float64
+		maxArrival time.Duration
+	}{
+		{Azure(), 26000, 30, 19, 324 * time.Microsecond},
+		{BingI(), 4800, 73, 59, 1800 * time.Microsecond},
+		{Cosmos(), 2500, 657, 609, 1600 * time.Microsecond},
+	}
+	for _, c := range cases {
+		s := Measure(c.p.Generate(42, 20000))
+		if s.AvgIOPS < c.iops*0.85 || s.AvgIOPS > c.iops*1.25 {
+			t.Errorf("%s: IOPS = %.0f, want ~%.0f", c.p.Name, s.AvgIOPS, c.iops)
+		}
+		if s.AvgReadKB < c.readKB*0.75 || s.AvgReadKB > c.readKB*1.35 {
+			t.Errorf("%s: read KB = %.1f, want ~%.0f", c.p.Name, s.AvgReadKB, c.readKB)
+		}
+		if s.AvgWriteKB < c.writeKB*0.75 || s.AvgWriteKB > c.writeKB*1.35 {
+			t.Errorf("%s: write KB = %.1f, want ~%.0f", c.p.Name, s.AvgWriteKB, c.writeKB)
+		}
+		if s.MaxArrival > c.maxArrival {
+			t.Errorf("%s: max arrival = %v, want <= %v", c.p.Name, s.MaxArrival, c.maxArrival)
+		}
+		if s.MinArrival < 0 {
+			t.Errorf("%s: min arrival = %v", c.p.Name, s.MinArrival)
+		}
+	}
+}
+
+func TestRerateScalesIOPS(t *testing.T) {
+	base := Measure(Azure().Generate(9, 20000))
+	rerated := Measure(Azure().Rerate(3).Generate(9, 20000))
+	ratio := rerated.AvgIOPS / base.AvgIOPS
+	if ratio < 2.4 || ratio > 3.3 {
+		t.Fatalf("rerate(3) IOPS ratio = %.2f, want ~3 (clipping tolerated)", ratio)
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	if s := Measure(nil); s.Requests != 0 {
+		t.Fatalf("Measure(nil) = %+v", s)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Measure(Azure().Generate(1, 100))
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestProfilesOrder(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 3 || ps[0].Name != "Azure" || ps[1].Name != "Bing-I" || ps[2].Name != "Cosmos" {
+		t.Fatalf("Profiles() = %v", ps)
+	}
+}
+
+// Property: write fraction tracks the profile's WriteFrac.
+func TestQuickWriteFraction(t *testing.T) {
+	f := func(seed int64) bool {
+		reqs := Azure().Generate(seed, 5000)
+		s := Measure(reqs)
+		return s.WritePercent > 25 && s.WritePercent < 45 // target 35
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package vtime provides the deterministic virtual clock that every
+// simulated component in this repository runs on.
+//
+// The LAKE paper measures wall-clock time on a physical testbed (Xeon CPUs,
+// A100 GPUs, NVMe devices). This reproduction replaces each hardware
+// component with an analytic cost model; vtime.Clock is the shared notion of
+// "now" those models advance. Using virtual rather than wall time makes every
+// experiment deterministic and lets benchmarks report simulated microseconds
+// that are independent of the host the suite runs on.
+package vtime
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a monotonic virtual clock counting simulated nanoseconds.
+//
+// The zero value is a clock at t=0, ready to use. Reads and advances are
+// safe for concurrent use; experiments that need strict determinism advance
+// the clock from a single logical thread of control.
+type Clock struct {
+	now atomic.Int64
+}
+
+// New returns a clock starting at t=0.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time since the clock's epoch.
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
+
+// Advance moves the clock forward by d and returns the new time.
+// Advancing by a negative duration panics: virtual time is monotonic.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: Advance(%v): negative advance", d))
+	}
+	return time.Duration(c.now.Add(int64(d)))
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now, and returns
+// the (possibly unchanged) current time. It is the building block for
+// modelling a resource that becomes free at a known future instant.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return time.Duration(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
+	}
+}
+
+// Reset rewinds the clock to zero. Only tests and experiment harnesses that
+// reuse a simulation between runs should call it.
+func (c *Clock) Reset() { c.now.Store(0) }
+
+// Stopwatch measures elapsed virtual time on a clock.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// StartStopwatch begins measuring elapsed virtual time on c.
+func StartStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports virtual time elapsed since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return s.clock.Now() - s.start }

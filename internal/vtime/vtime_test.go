@@ -1,0 +1,114 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueStartsAtZero(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvanceAccumulates(t *testing.T) {
+	c := New()
+	c.Advance(3 * time.Microsecond)
+	c.Advance(7 * time.Microsecond)
+	if got, want := c.Now(), 10*time.Microsecond; got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceReturnsNewTime(t *testing.T) {
+	c := New()
+	if got := c.Advance(time.Millisecond); got != time.Millisecond {
+		t.Fatalf("Advance returned %v, want 1ms", got)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	New().Advance(-1)
+}
+
+func TestAdvanceToMovesForwardOnly(t *testing.T) {
+	c := New()
+	c.Advance(100)
+	if got := c.AdvanceTo(50); got != 100 {
+		t.Fatalf("AdvanceTo(50) after t=100 returned %v, want 100", got)
+	}
+	if got := c.AdvanceTo(250); got != 250 {
+		t.Fatalf("AdvanceTo(250) = %v, want 250", got)
+	}
+	if got := c.Now(); got != 250 {
+		t.Fatalf("Now() = %v, want 250", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() after Reset = %v, want 0", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := New()
+	sw := StartStopwatch(c)
+	c.Advance(42 * time.Microsecond)
+	if got, want := sw.Elapsed(), 42*time.Microsecond; got != want {
+		t.Fatalf("Elapsed() = %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentAdvanceSumsExactly(t *testing.T) {
+	c := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Now(), time.Duration(workers*perWorker); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+// Property: for any sequence of non-negative advances, Now equals their sum
+// and never decreases along the way.
+func TestQuickAdvanceMonotonic(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := New()
+		var sum time.Duration
+		prev := time.Duration(0)
+		for _, s := range steps {
+			d := time.Duration(s)
+			now := c.Advance(d)
+			sum += d
+			if now < prev || now != sum {
+				return false
+			}
+			prev = now
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

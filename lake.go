@@ -1,0 +1,135 @@
+// Package lake is the public API of LAKE, a framework for exposing
+// ML-focused hardware acceleration in kernel space, reproduced in Go from
+// "Towards a Machine Learning-Assisted Kernel with LAKE" (ASPLOS 2023).
+//
+// A Runtime wires together the three components of Fig 2 — lakeLib (the
+// kernel-side API provider), lakeShm (the zero-copy bulk-data channel) and
+// lakeD (the user-space daemon realizing accelerator APIs) — plus the
+// Fig 3 execution-policy framework and the §5 in-kernel feature registry.
+// Because Go cannot run in kernel space, the kernel/user boundary and the
+// accelerator are high-fidelity simulations on a virtual clock; every
+// protocol layer above them (command serialization, shared-memory handoff,
+// policy decisions, feature capture) is the real code path.
+//
+// Quick start:
+//
+//	rt, err := lake.New(lake.DefaultConfig())
+//	if err != nil { ... }
+//	defer rt.Close()
+//	rt.RegisterKernel(lake.VecAddKernel())
+//	lib := rt.Lib()                  // lakeLib: remoted CUDA driver API
+//	ctx, _ := lib.CuCtxCreate("app")
+//	buf, _ := rt.Region().Alloc(n)   // lakeShm: zero-copy staging
+//	...
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package lake
+
+import (
+	"lakego/internal/boundary"
+	"lakego/internal/core"
+	"lakego/internal/cuda"
+	"lakego/internal/features"
+	"lakego/internal/gpu"
+	"lakego/internal/policy"
+	"lakego/internal/remoting"
+	"lakego/internal/shm"
+)
+
+// Runtime is one booted LAKE instance; see core.Runtime for method docs.
+type Runtime = core.Runtime
+
+// Config parameterizes New.
+type Config = core.Config
+
+// Stats is a snapshot of runtime activity counters.
+type Stats = core.Stats
+
+// New boots a LAKE runtime.
+func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
+
+// DefaultConfig mirrors the paper's deployment: Netlink command channel,
+// 128 MiB shared region, A100-class accelerator.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Re-exported component types reachable from a Runtime.
+type (
+	// Lib is lakeLib, the kernel-side accelerator API stubs.
+	Lib = remoting.Lib
+	// Daemon is lakeD, the user-space API-realizing daemon.
+	Daemon = remoting.Daemon
+	// HighLevelHandler realizes one custom high-level API in lakeD (§4.4).
+	HighLevelHandler = remoting.HighLevelHandler
+	// Region is the lakeShm shared-memory region.
+	Region = shm.Region
+	// Buffer is one zero-copy allocation within a Region.
+	Buffer = shm.Buffer
+	// Kernel is a device function launchable via the remoted driver API.
+	Kernel = cuda.Kernel
+	// Result is a CUDA-style status code returned by remoted APIs.
+	Result = cuda.Result
+	// DevPtr is an opaque device memory address.
+	DevPtr = gpu.DevPtr
+	// GPUSpec describes the modeled accelerator hardware.
+	GPUSpec = gpu.Spec
+	// ChannelKind selects the kernel<->user command channel.
+	ChannelKind = boundary.Kind
+)
+
+// Feature registry types (§5, Table 1).
+type (
+	// FeatureStore holds the process's registries and models.
+	FeatureStore = features.Store
+	// FeatureRegistry is one named registry.
+	FeatureRegistry = features.Registry
+	// FeatureSchema describes a registry's vectors.
+	FeatureSchema = features.Schema
+	// FeatureField is one schema entry: key -> <size, entries>.
+	FeatureField = features.Field
+	// FeatureVector is one committed vector.
+	FeatureVector = features.Vector
+	// Classifier runs inference over a batch of vectors.
+	Classifier = features.Classifier
+)
+
+// Policy types (§4.2, §4.3).
+type (
+	// PolicyFunc decides CPU vs accelerator for a batch.
+	PolicyFunc = policy.Func
+	// PolicyDecision is a policy outcome.
+	PolicyDecision = policy.Decision
+	// AdaptivePolicy is the Fig 3 contention/profitability policy.
+	AdaptivePolicy = policy.Adaptive
+	// AdaptiveConfig parameterizes an AdaptivePolicy.
+	AdaptiveConfig = policy.AdaptiveConfig
+	// PolicyProgram is verified eBPF-style policy bytecode.
+	PolicyProgram = policy.Program
+)
+
+// Commonly used constants, re-exported for downstream callers.
+const (
+	// Success is the zero CUDA result.
+	Success = cuda.Success
+	// UseCPU and UseGPU are policy decisions.
+	UseCPU = policy.UseCPU
+	UseGPU = policy.UseGPU
+	// ArchCPU and ArchGPU tag registered classifiers.
+	ArchCPU = features.ArchCPU
+	ArchGPU = features.ArchGPU
+	// NullTS retrieves/truncates the whole feature window.
+	NullTS = features.NullTS
+	// Netlink is the default command channel (the paper's choice, §6).
+	Netlink = boundary.Netlink
+)
+
+// VecAddKernel returns the demonstration vector-add device kernel.
+func VecAddKernel() *Kernel { return cuda.VecAddKernel() }
+
+// Figure3Program compiles the paper's Fig 3 policy to bytecode for
+// Runtime.InstallVMPolicy.
+func Figure3Program(execThreshold, batchThreshold int64) PolicyProgram {
+	return policy.Figure3Program(execThreshold, batchThreshold)
+}
+
+// DefaultAdaptiveConfig returns the evaluation's policy constants.
+func DefaultAdaptiveConfig() AdaptiveConfig { return policy.DefaultAdaptiveConfig() }

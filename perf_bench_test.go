@@ -1,0 +1,123 @@
+// Substrate micro-benchmarks: real wall-clock performance of the hot code
+// paths (allocator, lock-free capture, wire protocol, inference math,
+// end-to-end remoted calls). Unlike the figure benchmarks, these measure
+// the library itself rather than the simulated hardware.
+package lake_test
+
+import (
+	"testing"
+
+	"lakego/internal/bestfit"
+	"lakego/internal/core"
+	"lakego/internal/features"
+	"lakego/internal/linnos"
+	"lakego/internal/lockfree"
+	"lakego/internal/nn"
+	"lakego/internal/remoting"
+	"lakego/internal/ringbuf"
+)
+
+func BenchmarkPerfBestFitAllocFree(b *testing.B) {
+	a, err := bestfit.New(64<<20, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	offs := make([]int64, 0, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := a.Alloc(int64(1024 + i%4096))
+		if err != nil {
+			// Region full: drain and continue.
+			for _, o := range offs {
+				a.Free(o)
+			}
+			offs = offs[:0]
+			continue
+		}
+		offs = append(offs, off)
+		if len(offs) == 128 {
+			for _, o := range offs {
+				a.Free(o)
+			}
+			offs = offs[:0]
+		}
+	}
+}
+
+func BenchmarkPerfLockfreeCapture(b *testing.B) {
+	m := lockfree.NewMap(16)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Add("pend_ios", 1)
+		}
+	})
+}
+
+func BenchmarkPerfRegistryCommit(b *testing.B) {
+	s := features.NewStore()
+	reg, err := s.CreateRegistry("bench", "sys", features.Schema{
+		{Key: "pend_ios", Size: 8, Entries: 1},
+		{Key: "io_latency", Size: 8, Entries: 4},
+	}, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.BeginCapture(0)
+		reg.CaptureFeatureIncr("pend_ios", 1)
+		reg.CaptureFeature("io_latency", val)
+		reg.CommitCapture(0)
+	}
+}
+
+func BenchmarkPerfMarshalCommand(b *testing.B) {
+	cmd := &remoting.Command{
+		API:  remoting.APICuLaunchKernel,
+		Seq:  1,
+		Args: []uint64{1, 2, 3, 4, 5, 6},
+		Name: "vecadd",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame, err := remoting.MarshalCommand(cmd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := remoting.UnmarshalCommand(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfNNForward(b *testing.B) {
+	net := nn.New(1, linnos.Base.Sizes()...)
+	x := make([]float32, net.InputSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+func BenchmarkPerfRingPush(b *testing.B) {
+	r := ringbuf.New[int](1024)
+	for i := 0; i < b.N; i++ {
+		r.Push(i)
+	}
+}
+
+func BenchmarkPerfRemotedCall(b *testing.B) {
+	rt, err := core.New(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	lib := rt.Lib()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, r := lib.CuDeviceGetCount(); r != 0 {
+			b.Fatal(r)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Soak test: the full runtime under concurrent mixed load — remoted CUDA
+// calls, feature capture from many goroutines, policy decisions, high-level
+// API invocations — must stay consistent and leak nothing.
+package lake_test
+
+import (
+	"sync"
+	"testing"
+
+	lake "lakego"
+	"lakego/internal/cuda"
+	"lakego/internal/shm"
+)
+
+func TestSoakConcurrentMixedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rt, err := lake.New(lake.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.RegisterKernel(lake.VecAddKernel())
+	rt.Daemon().RegisterHighLevel("sum", func(api *cuda.API, region *shm.Region, args []uint64, blob []byte) ([]uint64, []byte, cuda.Result) {
+		var s uint64
+		for _, a := range args {
+			s += a
+		}
+		return []uint64{s}, nil, cuda.Success
+	})
+
+	reg, err := rt.Features().CreateRegistry("soak", "sys", lake.FeatureSchema{
+		{Key: "pend", Size: 8, Entries: 1},
+		{Key: "lat", Size: 8, Entries: 4},
+	}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := rt.NewAdaptivePolicy(lake.DefaultAdaptiveConfig())
+
+	const workers = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lib := rt.Lib()
+			ctx, r := lib.CuCtxCreate("soak")
+			if r != lake.Success {
+				errs <- "ctx: " + r.String()
+				return
+			}
+			mod, _ := lib.CuModuleLoad("m")
+			fn, r := lib.CuModuleGetFunction(mod, "vecadd")
+			if r != lake.Success {
+				errs <- "fn: " + r.String()
+				return
+			}
+			buf, err := rt.Region().Alloc(4 * 16)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			dp, _ := lib.CuMemAlloc(4 * 16)
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0: // remoted compute round
+					if r := lib.CuMemcpyHtoDShm(dp, buf, 4*16); r != lake.Success {
+						errs <- "htod: " + r.String()
+						return
+					}
+					if r := lib.CuLaunchKernel(ctx, fn, []uint64{uint64(dp), uint64(dp), uint64(dp), 16}); r != lake.Success {
+						errs <- "launch: " + r.String()
+						return
+					}
+				case 1: // feature capture
+					reg.CaptureFeatureIncr("pend", 1)
+					reg.BeginCapture(rt.Clock().Now())
+					reg.CommitCapture(rt.Clock().Now())
+					reg.CaptureFeatureIncr("pend", -1)
+				case 2: // policy decision
+					pol.Decide(i % 64)
+				case 3: // high-level API
+					vals, _, r := lib.CallHighLevel("sum", []uint64{uint64(w), uint64(i)}, nil)
+					if r != lake.Success || vals[0] != uint64(w+i) {
+						errs <- "sum wrong"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	st := rt.Stats()
+	wantLaunches := int64(workers * iters / 4)
+	if st.KernelLaunches != wantLaunches {
+		t.Fatalf("launches = %d, want %d", st.KernelLaunches, wantLaunches)
+	}
+	if st.RemotedCalls != st.DaemonHandled {
+		t.Fatalf("calls %d != handled %d", st.RemotedCalls, st.DaemonHandled)
+	}
+	if got := reg.Commits(); got != int64(workers*iters/4) {
+		t.Fatalf("commits = %d, want %d", got, workers*iters/4)
+	}
+}

@@ -1,0 +1,223 @@
+package batcher
+
+import (
+	"time"
+
+	"lakego/internal/cuda"
+	"lakego/internal/policy"
+	"lakego/internal/remoting"
+)
+
+// flushReason tags why a batch was formed.
+type flushReason int
+
+const (
+	flushFull flushReason = iota
+	flushDeadline
+)
+
+// Wait blocks until the request is delivered and returns its outputs, one
+// slice per submitted item.
+//
+// Flushes are driven cooperatively by waiters (there is no hidden flusher
+// thread, keeping virtual time deterministic): the first waiter whose
+// request is still queued becomes the leader, lingers Config.Linger of
+// real time so concurrent clients can coalesce into the batch, then
+// drives a deadline flush — advancing the virtual clock to the oldest
+// request's enqueue time + MaxWait, exactly as a max-wait timer would
+// fire. A submission that fills the batch flushes immediately from Submit
+// and wakes any lingering leader.
+func (p *Pending) Wait() ([][]float32, error) {
+	m := p.m
+	b := m.b
+	for {
+		select {
+		case <-p.done:
+			return p.out, p.err
+		default:
+		}
+		m.mu.Lock()
+		if p.taken {
+			// A flush claimed the request; delivery is imminent (or done).
+			m.mu.Unlock()
+			<-p.done
+			return p.out, p.err
+		}
+		if m.leader {
+			// Another waiter is coalescing this generation. Wait for our
+			// delivery or for the leader to step down (its flush may not
+			// have reached us if the queue exceeded staging capacity).
+			gone := m.leaderGone
+			m.mu.Unlock()
+			select {
+			case <-p.done:
+				return p.out, p.err
+			case <-gone:
+				continue
+			}
+		}
+		m.leader = true
+		m.leaderGone = make(chan struct{})
+		var full chan struct{}
+		if b.cfg.Linger > 0 {
+			full = make(chan struct{})
+			m.fullSig = full
+		}
+		m.mu.Unlock()
+
+		if full != nil {
+			t := time.NewTimer(b.cfg.Linger)
+			select {
+			case <-full: // batch filled; Submit flushed it
+			case <-t.C: // linger expired; drive the deadline flush
+			case <-p.done: // our request was delivered mid-linger
+			}
+			t.Stop()
+		}
+
+		m.mu.Lock()
+		m.leader = false
+		if m.fullSig == full {
+			m.fullSig = nil
+		}
+		close(m.leaderGone)
+		var batch []*Pending
+		if !p.taken {
+			batch = m.takeLocked()
+		}
+		m.mu.Unlock()
+		if batch != nil {
+			b.execute(m, batch, flushDeadline)
+		}
+		// Loop: either our request was in that batch (delivered) or it is
+		// still queued behind staging capacity and we lead another round.
+	}
+}
+
+// execute runs one formed batch to completion and delivers every request.
+// Flushes of the same model are serialized: there is one device staging
+// area per model, like one CUDA stream per lakeD model context.
+func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
+	m.execMu.Lock()
+	defer m.execMu.Unlock()
+
+	clock := b.rt.Clock()
+	if reason == flushDeadline {
+		// The max-wait timer fires at the oldest request's deadline; on
+		// the virtual clock the flush happens at exactly that instant
+		// (no-op if the clock is already past it).
+		clock.AdvanceTo(batch[0].enq + b.cfg.MaxWait)
+	}
+	flushAt := clock.Now()
+	items := 0
+	for _, p := range batch {
+		items += p.count
+		d := int64(flushAt - p.enq)
+		for cur := b.maxDelay.Load(); d > cur; cur = b.maxDelay.Load() {
+			if b.maxDelay.CompareAndSwap(cur, d) {
+				break
+			}
+		}
+	}
+	b.flushes.Add(1)
+	if reason == flushFull {
+		b.fullFlushes.Add(1)
+	} else {
+		b.deadlineFlushes.Add(1)
+	}
+
+	// Adaptive sizing: the Fig 3 policy sees the formed batch and routes
+	// the whole flush to the GPU only when it is profitable and the
+	// device is uncontended.
+	dec := policy.UseGPU
+	if b.cfg.Policy != nil {
+		dec = b.cfg.Policy(items)
+	}
+	var flushErr error
+	var perRes map[uint64]cuda.Result
+	if dec == policy.UseGPU {
+		b.gpuFlushes.Add(1)
+		entries := make([]remoting.BatchEntry, len(batch))
+		for i, p := range batch {
+			entries[i] = remoting.BatchEntry{
+				Seq:    p.seq,
+				InOff:  uint64(p.inBuf.Offset()),
+				OutOff: uint64(p.outBuf.Offset()),
+				Count:  uint32(p.count),
+			}
+		}
+		per, r := b.rt.Lib().CuBatchedInfer(m.mc.Name, m.spec, entries)
+		if r != cuda.Success {
+			flushErr = r.Err()
+		} else {
+			perRes = per
+		}
+	} else {
+		b.cpuFlushes.Add(1)
+		flushErr = m.runCPU(batch)
+		clock.Advance(m.mc.CPUFixed + time.Duration(items)*m.mc.CPUPerItem)
+	}
+
+	now := clock.Now()
+	region := b.rt.Region()
+	for _, p := range batch {
+		err := flushErr
+		if err == nil && perRes != nil {
+			if r, ok := perRes[p.seq]; !ok {
+				err = cuda.ErrUnknown.Err()
+			} else if r != cuda.Success {
+				err = r.Err()
+			}
+		}
+		if err == nil {
+			p.out, err = p.unpackOut()
+		}
+		p.err = err
+		p.doneAt = now
+		region.Free(p.inBuf)
+		region.Free(p.outBuf)
+		p.c.outstanding.Add(-1)
+		close(p.done)
+	}
+}
+
+// runCPU executes a flush on the kernel CPU fallback path: real forward
+// passes written straight into each request's output slice. The calibrated
+// kernel-space cost is charged by the caller.
+func (m *model) runCPU(batch []*Pending) error {
+	for _, p := range batch {
+		flat, err := cuda.Float32s(p.inBuf.Bytes(), p.count*m.mc.InputWidth)
+		if err != nil {
+			return err
+		}
+		out := make([]float32, 0, p.count*m.mc.OutputWidth)
+		for i := 0; i < p.count; i++ {
+			if m.mc.Forward == nil {
+				out = append(out, make([]float32, m.mc.OutputWidth)...)
+				continue
+			}
+			out = append(out, m.mc.Forward(flat[i*m.mc.InputWidth:(i+1)*m.mc.InputWidth])...)
+		}
+		if err := cuda.PutFloat32s(p.outBuf.Bytes(), out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unpackOut copies the request's delivered output slice out of lakeShm
+// (the shm slices are freed on delivery).
+func (p *Pending) unpackOut() ([][]float32, error) {
+	w := p.m.mc.OutputWidth
+	flat, err := cuda.Float32s(p.outBuf.Bytes(), p.count*w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float32, p.count)
+	for i := range out {
+		row := make([]float32, w)
+		copy(row, flat[i*w:(i+1)*w])
+		out[i] = row
+	}
+	return out, nil
+}

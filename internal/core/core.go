@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"lakego/internal/batcher"
 	"lakego/internal/boundary"
 	"lakego/internal/cuda"
 	"lakego/internal/features"
@@ -133,6 +134,15 @@ func (r *Runtime) NewAdaptivePolicy(cfg policy.AdaptiveConfig) *policy.Adaptive 
 		}
 		return g
 	})
+}
+
+// NewBatcher creates the lakeD cross-client inference batching subsystem
+// on this runtime: clients submit independent inference requests and the
+// batcher coalesces them into dynamically batched GPU launches (or the CPU
+// fallback, per the configured policy). Register models with
+// Batcher.RegisterModel and hand out Batcher.Client handles.
+func (r *Runtime) NewBatcher(cfg batcher.Config) *batcher.Batcher {
+	return batcher.New(r, cfg)
 }
 
 // InstallVMPolicy verifies a bytecode policy against the Fig 3 helper set

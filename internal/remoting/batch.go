@@ -1,0 +1,242 @@
+package remoting
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lakego/internal/cuda"
+	"lakego/internal/gpu"
+)
+
+// This file is the wire half of the cross-client batching subsystem
+// (internal/batcher): one APIBatchedInfer command carries many independent
+// inference requests, each referencing its own lakeShm slices, and lakeD
+// gathers them into a single device launch. Per-request results travel back
+// in one response and are demultiplexed by request sequence number.
+
+// BatchEntry describes one client request inside a batched-infer command.
+// The request's input lives at InOff in lakeShm (Count items of the model's
+// input width) and its output is scattered back to OutOff — only offsets
+// cross the boundary, preserving the §4.1 zero-copy property per request.
+type BatchEntry struct {
+	// Seq is the batcher-assigned request sequence used to demux results.
+	Seq uint64
+	// InOff / OutOff are lakeShm offsets of the request's slices.
+	InOff, OutOff uint64
+	// Count is the number of inference items in this request.
+	Count uint32
+}
+
+// Batch is the payload of an APIBatchedInfer command.
+type Batch struct {
+	Entries []BatchEntry
+}
+
+// maxBatchEntries bounds one batched command; a frame beyond it is corrupt.
+// It is half maxArgs because each entry produces a (seq, result) pair in the
+// response's Vals.
+const maxBatchEntries = maxArgs / 2
+
+const batchMagic = 0xB7
+
+// MarshalBatch encodes a batch descriptor for transport in a Command blob.
+func MarshalBatch(bt *Batch) ([]byte, error) {
+	if len(bt.Entries) > maxBatchEntries {
+		return nil, fmt.Errorf("remoting: batch has %d entries, max %d", len(bt.Entries), maxBatchEntries)
+	}
+	buf := make([]byte, 0, 1+2+28*len(bt.Entries))
+	buf = append(buf, batchMagic)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(bt.Entries)))
+	for _, e := range bt.Entries {
+		buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, e.InOff)
+		buf = binary.LittleEndian.AppendUint64(buf, e.OutOff)
+		buf = binary.LittleEndian.AppendUint32(buf, e.Count)
+	}
+	return buf, nil
+}
+
+// UnmarshalBatch decodes a frame produced by MarshalBatch.
+func UnmarshalBatch(frame []byte) (*Batch, error) {
+	r := reader{buf: frame}
+	if m, err := r.u8(); err != nil || m != batchMagic {
+		return nil, ErrShortFrame
+	}
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxBatchEntries {
+		return nil, ErrShortFrame
+	}
+	entries := make([]BatchEntry, n)
+	for i := range entries {
+		if entries[i].Seq, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if entries[i].InOff, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if entries[i].OutOff, err = r.u64(); err != nil {
+			return nil, err
+		}
+		c, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		entries[i].Count = c
+	}
+	if r.pos != len(frame) {
+		return nil, ErrShortFrame
+	}
+	return &Batch{Entries: entries}, nil
+}
+
+// BatchSpec carries the device-side state a batched launch executes
+// against: the model's context, kernel handle, staging allocations and item
+// widths. The kernel side (internal/batcher) owns these handles; lakeD
+// validates them per command like any other remoted handle.
+type BatchSpec struct {
+	Ctx, Fn       uint64
+	DevIn, DevOut gpu.DevPtr
+	// InWidth / OutWidth are per-item float32 counts.
+	InWidth, OutWidth int
+}
+
+// args flattens the spec into command args; batchSpecFromArgs inverts it.
+func (s BatchSpec) args() []uint64 {
+	return []uint64{s.Ctx, s.Fn, uint64(s.DevIn), uint64(s.DevOut), uint64(s.InWidth), uint64(s.OutWidth)}
+}
+
+func batchSpecFromArgs(args []uint64) (BatchSpec, bool) {
+	if len(args) < 6 {
+		return BatchSpec{}, false
+	}
+	return BatchSpec{
+		Ctx: args[0], Fn: args[1],
+		DevIn: gpu.DevPtr(args[2]), DevOut: gpu.DevPtr(args[3]),
+		InWidth: int(args[4]), OutWidth: int(args[5]),
+	}, true
+}
+
+// CuBatchedInfer remotes one dynamically formed batch: a single command
+// whose entries are independent client requests. It returns the per-request
+// results keyed by BatchEntry.Seq plus the command-level result. A non-nil
+// map with Success command result may still contain per-entry failures
+// (e.g. one request's shm range was invalid while the rest executed).
+func (l *Lib) CuBatchedInfer(model string, spec BatchSpec, entries []BatchEntry) (map[uint64]cuda.Result, cuda.Result) {
+	blob, err := MarshalBatch(&Batch{Entries: entries})
+	if err != nil {
+		return nil, cuda.ErrInvalidValue
+	}
+	r, resp := l.callRes(&Command{
+		API:  APIBatchedInfer,
+		Name: model,
+		Args: spec.args(),
+		Blob: blob,
+	})
+	if resp == nil {
+		return nil, r
+	}
+	per := make(map[uint64]cuda.Result, len(resp.Vals)/2)
+	for i := 0; i+1 < len(resp.Vals); i += 2 {
+		per[resp.Vals[i]] = cuda.Result(resp.Vals[i+1])
+	}
+	return per, r
+}
+
+// batchedInfer is lakeD's side of the batching subsystem: it validates each
+// entry, gathers the valid requests' shm slices into the model's device
+// input staging area, performs ONE launch over the combined batch, and
+// scatters per-request output slices back into lakeShm. Data movement is
+// charged as one aggregated DMA per direction — the transfer amortization
+// that makes cross-client batching profitable.
+func (d *Daemon) batchedInfer(cmd *Command) *Response {
+	resp := &Response{Seq: cmd.Seq}
+	spec, ok := batchSpecFromArgs(cmd.Args)
+	if !ok || spec.InWidth <= 0 || spec.OutWidth <= 0 {
+		resp.Result = int32(cuda.ErrInvalidValue)
+		return resp
+	}
+	bt, err := UnmarshalBatch(cmd.Blob)
+	if err != nil {
+		resp.Result = int32(cuda.ErrInvalidValue)
+		return resp
+	}
+	inMem, errIn := d.api.Device().Bytes(spec.DevIn)
+	outMem, errOut := d.api.Device().Bytes(spec.DevOut)
+	if errIn != nil || errOut != nil {
+		resp.Result = int32(cuda.ErrInvalidValue)
+		return resp
+	}
+
+	// Validate and admit entries until staging capacity is exhausted;
+	// rejected entries fail individually without sinking the launch.
+	perRes := make([]cuda.Result, len(bt.Entries))
+	admitted := make([]int, 0, len(bt.Entries))
+	items := 0
+	for i, e := range bt.Entries {
+		inBytes := int64(e.Count) * int64(4*spec.InWidth)
+		outBytes := int64(e.Count) * int64(4*spec.OutWidth)
+		switch {
+		case e.Count == 0:
+			perRes[i] = cuda.ErrInvalidValue
+			continue
+		case int64(items+int(e.Count))*int64(4*spec.InWidth) > int64(len(inMem)),
+			int64(items+int(e.Count))*int64(4*spec.OutWidth) > int64(len(outMem)):
+			perRes[i] = cuda.ErrOutOfMemory
+			continue
+		}
+		if _, err := d.region.At(int64(e.InOff), inBytes); err != nil {
+			perRes[i] = cuda.ErrInvalidValue
+			continue
+		}
+		if _, err := d.region.At(int64(e.OutOff), outBytes); err != nil {
+			perRes[i] = cuda.ErrInvalidValue
+			continue
+		}
+		admitted = append(admitted, i)
+		items += int(e.Count)
+	}
+
+	if items > 0 {
+		// Gather: one aggregated host->device DMA for all admitted slices.
+		cursor := 0
+		for _, i := range admitted {
+			e := bt.Entries[i]
+			n := int(e.Count) * 4 * spec.InWidth
+			view, _ := d.region.At(int64(e.InOff), int64(n))
+			copy(inMem[cursor:cursor+n], view)
+			cursor += n
+		}
+		d.api.ChargeTransfer(int64(cursor))
+
+		launch := d.api.LaunchKernel(spec.Ctx, spec.Fn,
+			[]uint64{uint64(spec.DevIn), uint64(spec.DevOut), uint64(items)})
+		if launch != cuda.Success {
+			for _, i := range admitted {
+				perRes[i] = launch
+			}
+		} else {
+			// Scatter: one aggregated device->host DMA back to lakeShm.
+			cursor = 0
+			total := 0
+			for _, i := range admitted {
+				e := bt.Entries[i]
+				n := int(e.Count) * 4 * spec.OutWidth
+				view, _ := d.region.At(int64(e.OutOff), int64(n))
+				copy(view, outMem[cursor:cursor+n])
+				cursor += n
+				total += n
+			}
+			d.api.ChargeTransfer(int64(total))
+		}
+	}
+
+	resp.Result = int32(cuda.Success)
+	resp.Vals = make([]uint64, 0, 2*len(bt.Entries))
+	for i, e := range bt.Entries {
+		resp.Vals = append(resp.Vals, e.Seq, uint64(uint32(perRes[i])))
+	}
+	return resp
+}

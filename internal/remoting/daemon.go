@@ -206,6 +206,9 @@ func (d *Daemon) execute(cmd *Command) *Response {
 		}
 		resp.Result = int32(d.api.LaunchKernelAsync(cmd.Args[0], cmd.Args[1], cmd.Args[2], cmd.Args[3:]))
 
+	case APIBatchedInfer:
+		return d.batchedInfer(cmd)
+
 	case APIHighLevel:
 		d.mu.Lock()
 		h, ok := d.highlevel[cmd.Name]

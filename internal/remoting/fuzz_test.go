@@ -57,6 +57,42 @@ func FuzzUnmarshalResponse(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalBatch mirrors FuzzUnmarshalCommand for the batched-infer
+// frame: arbitrary bytes must never panic the decoder, and anything that
+// decodes must round-trip bit-for-bit through MarshalBatch.
+func FuzzUnmarshalBatch(f *testing.F) {
+	seed, _ := MarshalBatch(&Batch{Entries: []BatchEntry{
+		{Seq: 1, InOff: 0, OutOff: 128, Count: 4},
+		{Seq: 7, InOff: 4096, OutOff: 8192, Count: 1},
+	}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{batchMagic})
+	f.Add([]byte{batchMagic, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bt, err := UnmarshalBatch(data)
+		if err != nil {
+			return
+		}
+		re, err := MarshalBatch(bt)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		bt2, err := UnmarshalBatch(re)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if len(bt2.Entries) != len(bt.Entries) {
+			t.Fatalf("round trip lost entries: %d != %d", len(bt2.Entries), len(bt.Entries))
+		}
+		for i := range bt.Entries {
+			if bt.Entries[i] != bt2.Entries[i] {
+				t.Fatalf("entry %d not stable: %+v != %+v", i, bt.Entries[i], bt2.Entries[i])
+			}
+		}
+	})
+}
+
 // FuzzDaemonFrame: the daemon must answer every frame with a parseable
 // response and never panic.
 func FuzzDaemonFrame(f *testing.F) {

@@ -52,6 +52,7 @@ const (
 	APICuMemcpyDtoHAsync
 	APICuLaunchKernelAsync
 	APICuMemGetInfo
+	APIBatchedInfer
 )
 
 var apiNames = map[APIID]string{
@@ -77,6 +78,7 @@ var apiNames = map[APIID]string{
 	APICuMemcpyDtoHAsync:   "cuMemcpyDtoHAsync",
 	APICuLaunchKernelAsync: "cuLaunchKernel(stream)",
 	APICuMemGetInfo:        "cuMemGetInfo",
+	APIBatchedInfer:        "lakeBatchedInfer",
 }
 
 func (id APIID) String() string {

@@ -26,6 +26,7 @@
 package lake
 
 import (
+	"lakego/internal/batcher"
 	"lakego/internal/boundary"
 	"lakego/internal/core"
 	"lakego/internal/cuda"
@@ -91,6 +92,32 @@ type (
 	// Classifier runs inference over a batch of vectors.
 	Classifier = features.Classifier
 )
+
+// Cross-client batching subsystem types (internal/batcher): clients obtain
+// a Batcher from Runtime.NewBatcher, register models, and submit through
+// per-client handles; independent requests coalesce into batched GPU
+// launches inside lakeD.
+type (
+	// Batcher aggregates concurrent inference requests per model.
+	Batcher = batcher.Batcher
+	// BatcherConfig parameterizes Runtime.NewBatcher.
+	BatcherConfig = batcher.Config
+	// BatcherModel describes one batchable model.
+	BatcherModel = batcher.ModelConfig
+	// BatcherClient is one submitter's fair-admission handle.
+	BatcherClient = batcher.Client
+	// BatcherPending is one in-flight batched request.
+	BatcherPending = batcher.Pending
+	// BatcherStats snapshots batching activity.
+	BatcherStats = batcher.Stats
+)
+
+// ErrBackpressure is the batcher's reject-with-retry result.
+var ErrBackpressure = batcher.ErrBackpressure
+
+// DefaultBatcherConfig returns the batching defaults (32-item target
+// batches, 100µs max-wait flush deadline).
+func DefaultBatcherConfig() BatcherConfig { return batcher.DefaultConfig() }
 
 // Policy types (§4.2, §4.3).
 type (

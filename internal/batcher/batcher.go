@@ -140,6 +140,10 @@ type Stats struct {
 	// reaching MaxBatch, DeadlineFlushes by the MaxWait timer.
 	Flushes, GPUFlushes, CPUFlushes int64
 	FullFlushes, DeadlineFlushes    int64
+	// FallbackFlushes counts GPU-routed flushes that completed on the CPU
+	// because lakeD was unavailable (CUDA_ERROR_SYSTEM_NOT_READY). They
+	// are included in GPUFlushes (the policy's routing decision).
+	FallbackFlushes int64
 	// MaxQueueDelay is the largest virtual-time gap observed between a
 	// request's enqueue and its batch's flush instant.
 	MaxQueueDelay time.Duration
@@ -164,6 +168,7 @@ type Batcher struct {
 	requests, items, rejected       atomic.Int64
 	flushes, gpuFlushes, cpuFlushes atomic.Int64
 	fullFlushes, deadlineFlushes    atomic.Int64
+	fallbackFlushes                 atomic.Int64
 	maxDelay                        atomic.Int64
 }
 
@@ -187,6 +192,7 @@ func (b *Batcher) Stats() Stats {
 		CPUFlushes:      b.cpuFlushes.Load(),
 		FullFlushes:     b.fullFlushes.Load(),
 		DeadlineFlushes: b.deadlineFlushes.Load(),
+		FallbackFlushes: b.fallbackFlushes.Load(),
 		MaxQueueDelay:   time.Duration(b.maxDelay.Load()),
 	}
 }

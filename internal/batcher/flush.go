@@ -147,10 +147,18 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 			}
 		}
 		per, r := b.rt.Lib().CuBatchedInfer(m.mc.Name, m.spec, entries)
-		if r != cuda.Success {
-			flushErr = r.Err()
-		} else {
+		switch r {
+		case cuda.Success:
 			perRes = per
+		case cuda.ErrNotReady:
+			// lakeD is unavailable (declared dead and not recovered): the
+			// kernel must still answer its clients, so the formed batch
+			// completes on the CPU fallback at its calibrated cost.
+			b.fallbackFlushes.Add(1)
+			flushErr = m.runCPU(batch)
+			clock.Advance(m.mc.CPUFixed + time.Duration(items)*m.mc.CPUPerItem)
+		default:
+			flushErr = r.Err()
 		}
 	} else {
 		b.cpuFlushes.Add(1)

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"lakego/internal/faults"
 	"lakego/internal/vtime"
 )
 
@@ -123,6 +124,7 @@ type Transport struct {
 
 	mu     sync.Mutex
 	closed bool
+	fault  *faults.Plane
 
 	sent, received int64
 }
@@ -144,6 +146,48 @@ func NewTransport(k Kind, clock *vtime.Clock, depth int) *Transport {
 // Kind returns the channel mechanism in use.
 func (t *Transport) Kind() Kind { return t.kind }
 
+// Clock returns the virtual clock the transport charges.
+func (t *Transport) Clock() *vtime.Clock { return t.clock }
+
+// InjectFaults attaches a fault plane to the transport: every subsequent
+// frame in either direction is subject to the plane's drop / corrupt /
+// duplicate / delay decisions. A nil plane detaches.
+func (t *Transport) InjectFaults(p *faults.Plane) {
+	t.mu.Lock()
+	t.fault = p
+	t.mu.Unlock()
+}
+
+// faultPlane returns the attached plane (possibly nil).
+func (t *Transport) faultPlane() *faults.Plane {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fault
+}
+
+// deliver runs one frame through the fault plane and enqueues the surviving
+// copies on ch, charging any injected delay to the clock. The caller's copy
+// semantics are preserved: cp is already a private copy of the caller's
+// message. A queue-full duplicate is silently shed, like an overrun socket
+// buffer.
+func (t *Transport) deliver(ch chan []byte, cp []byte) error {
+	frames, delay := t.faultPlane().OnMessage(cp)
+	if delay > 0 {
+		t.clock.Advance(delay)
+	}
+	for i, f := range frames {
+		select {
+		case ch <- f:
+		default:
+			if i > 0 {
+				return nil // duplicate shed by a full queue: not an error
+			}
+			return fmt.Errorf("boundary: %s queue full", t.kind)
+		}
+	}
+	return nil
+}
+
 // Stats returns messages sent from kernel and received back.
 func (t *Transport) Stats() (sent, received int64) {
 	t.mu.Lock()
@@ -161,16 +205,18 @@ func (t *Transport) isClosed() bool {
 // free of clock charges: the remoting layer charges each command's modeled
 // round-trip cost once via ChargeRoundTrip, mirroring how Fig 6 accounts
 // per-message overhead.
+//
+// With a fault plane attached the message may be silently dropped,
+// corrupted, duplicated, or delayed; a drop still returns nil — the sender
+// cannot observe in-channel loss, exactly like a lossy socket.
 func (t *Transport) SendToUser(msg []byte) error {
 	if t.isClosed() {
 		return ErrClosed
 	}
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
-	select {
-	case t.toUser <- cp:
-	default:
-		return fmt.Errorf("boundary: %s queue full", t.kind)
+	if err := t.deliver(t.toUser, cp); err != nil {
+		return err
 	}
 	t.mu.Lock()
 	t.sent++
@@ -189,19 +235,15 @@ func (t *Transport) RecvInUser() (msg []byte, ok bool) {
 	}
 }
 
-// SendToKernel transmits a response from the user domain.
+// SendToKernel transmits a response from the user domain, subject to the
+// same fault plane as SendToUser.
 func (t *Transport) SendToKernel(msg []byte) error {
 	if t.isClosed() {
 		return ErrClosed
 	}
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
-	select {
-	case t.toKernel <- cp:
-	default:
-		return fmt.Errorf("boundary: %s queue full", t.kind)
-	}
-	return nil
+	return t.deliver(t.toKernel, cp)
 }
 
 // RecvInKernel delivers the next user->kernel message.

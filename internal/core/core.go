@@ -18,6 +18,7 @@ import (
 	"lakego/internal/batcher"
 	"lakego/internal/boundary"
 	"lakego/internal/cuda"
+	"lakego/internal/faults"
 	"lakego/internal/features"
 	"lakego/internal/gpu"
 	"lakego/internal/policy"
@@ -38,6 +39,18 @@ type Config struct {
 	Channel boundary.Kind
 	// QueueDepth is the command channel's buffering.
 	QueueDepth int
+	// Faults, when non-nil, attaches a fault plane with this mix to the
+	// transport and daemon: frames may be dropped, corrupted, duplicated,
+	// or delayed, and the daemon may crash while serving. Setting Faults
+	// also arms client resilience (a faulty channel without retries would
+	// just lose calls).
+	Faults *faults.Mix
+	// Resilience, when non-nil, arms lakeLib's fault-tolerant call path
+	// explicitly; its Hook defaults to the runtime's Supervisor.
+	Resilience *remoting.Resilience
+	// Supervision parameterizes the lakeD supervisor (zero value =
+	// defaults). Only consulted when Faults or Resilience is set.
+	Supervision SupervisorConfig
 }
 
 // DefaultConfig mirrors the paper's deployment: Netlink command channel,
@@ -61,6 +74,8 @@ type Runtime struct {
 	daemon    *remoting.Daemon
 	lib       *remoting.Lib
 	store     *features.Store
+	plane     *faults.Plane
+	sup       *Supervisor
 }
 
 // New boots a runtime: creates the device, maps the shared region into both
@@ -95,6 +110,22 @@ func New(cfg Config) (*Runtime, error) {
 		lib:       lib,
 		store:     features.NewStore(),
 	}
+	if cfg.Faults != nil {
+		rt.plane = faults.NewPlane(*cfg.Faults, clock)
+		tr.InjectFaults(rt.plane)
+		daemon.InjectFaults(rt.plane)
+	}
+	if cfg.Faults != nil || cfg.Resilience != nil {
+		rt.sup = NewSupervisor(clock, daemon, lib, cfg.Supervision)
+		res := remoting.DefaultResilience()
+		if cfg.Resilience != nil {
+			res = *cfg.Resilience
+		}
+		if res.Hook == nil {
+			res.Hook = rt.sup
+		}
+		lib.EnableResilience(res)
+	}
 	if r := lib.CuInit(); r != cuda.Success {
 		return nil, fmt.Errorf("core: remote cuInit failed: %s", r)
 	}
@@ -119,6 +150,14 @@ func (r *Runtime) Region() *shm.Region { return r.region }
 
 // Features returns the in-kernel feature registry store (§5).
 func (r *Runtime) Features() *features.Store { return r.store }
+
+// FaultPlane returns the attached fault-injection plane, or nil when the
+// runtime was booted without Config.Faults.
+func (r *Runtime) FaultPlane() *faults.Plane { return r.plane }
+
+// Supervisor returns the lakeD supervisor, or nil when neither faults nor
+// resilience were configured.
+func (r *Runtime) Supervisor() *Supervisor { return r.sup }
 
 // RegisterKernel installs a device kernel into the user-domain vendor
 // library so remoted cuModuleGetFunction can resolve it.
@@ -182,18 +221,25 @@ type Stats struct {
 	KernelLaunches int64
 	ShmUsed        int64
 	VirtualTime    time.Duration
+	// Fault/recovery counters (zero on a runtime without faults).
+	DaemonExecuted    int64
+	DaemonRedelivered int64
+	DaemonRestarts    int64
 }
 
 // Stats snapshots the runtime counters.
 func (r *Runtime) Stats() Stats {
 	calls, channel := r.lib.Stats()
 	return Stats{
-		RemotedCalls:   calls,
-		ChannelTime:    channel,
-		DaemonHandled:  r.daemon.Handled(),
-		KernelLaunches: r.device.Launches(),
-		ShmUsed:        r.region.Used(),
-		VirtualTime:    r.clock.Now(),
+		RemotedCalls:      calls,
+		ChannelTime:       channel,
+		DaemonHandled:     r.daemon.Handled(),
+		KernelLaunches:    r.device.Launches(),
+		ShmUsed:           r.region.Used(),
+		VirtualTime:       r.clock.Now(),
+		DaemonExecuted:    r.daemon.Executed(),
+		DaemonRedelivered: r.daemon.Redelivered(),
+		DaemonRestarts:    r.daemon.Restarts(),
 	}
 }
 

@@ -1,6 +1,9 @@
 package cuda
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Result is a CUDA-driver-style status code. The remoting layer ships these
 // across the kernel/user boundary verbatim, so kernel-space callers do their
@@ -18,7 +21,11 @@ const (
 	ErrInvalidHandle  Result = 400
 	ErrNotFound       Result = 500
 	ErrLaunchFailed   Result = 719
-	ErrUnknown        Result = 999
+	// ErrNotReady maps CUDA_ERROR_SYSTEM_NOT_READY: the remoting layer
+	// returns it when lakeD has been declared dead and could not be
+	// recovered, signalling callers to route through the CPU fallback.
+	ErrNotReady Result = 802
+	ErrUnknown  Result = 999
 )
 
 var resultNames = map[Result]string{
@@ -30,6 +37,7 @@ var resultNames = map[Result]string{
 	ErrInvalidHandle:  "CUDA_ERROR_INVALID_HANDLE",
 	ErrNotFound:       "CUDA_ERROR_NOT_FOUND",
 	ErrLaunchFailed:   "CUDA_ERROR_LAUNCH_FAILED",
+	ErrNotReady:       "CUDA_ERROR_SYSTEM_NOT_READY",
 	ErrUnknown:        "CUDA_ERROR_UNKNOWN",
 }
 
@@ -40,10 +48,25 @@ func (r Result) String() string {
 	return fmt.Sprintf("CUDA_ERROR(%d)", int32(r))
 }
 
-// Err converts a Result to a Go error (nil for Success).
+// Err converts a Result to a Go error (nil for Success). The returned
+// error carries the Result; recover it with AsResult.
 func (r Result) Err() error {
 	if r == Success {
 		return nil
 	}
-	return fmt.Errorf("cuda: %s", r)
+	return resultError{r}
+}
+
+type resultError struct{ r Result }
+
+func (e resultError) Error() string { return fmt.Sprintf("cuda: %s", e.r) }
+
+// AsResult extracts the Result from an error chain produced by Err. ok is
+// false for nil and for errors that did not originate from a Result.
+func AsResult(err error) (r Result, ok bool) {
+	var re resultError
+	if errors.As(err, &re) {
+		return re.r, true
+	}
+	return Success, false
 }

@@ -1,0 +1,218 @@
+// Package faults is the injectable fault plane for the simulated
+// kernel<->user channels: it decides, message by message, whether a frame is
+// dropped, delayed, corrupted or duplicated, and whether lakeD crashes while
+// serving a command.
+//
+// The paper's deployment story assumes a healthy lakeD and a clean Netlink
+// socket; a production kernel client must instead survive a crashed, slow,
+// or byzantine user-space daemon. The fault plane makes those failure modes
+// reproducible: every decision comes from one seeded PRNG, delays are
+// charged to the shared virtual clock (internal/vtime), and identical seeds
+// replay identical fault schedules, so a chaos run is an experiment, not a
+// dice roll.
+//
+// A nil *Plane is a valid no-op plane, and a Plane whose Mix has all rates
+// at zero injects nothing and never touches the clock, so fault-free runs
+// are bit-identical to runs with no plane attached.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"lakego/internal/vtime"
+)
+
+// Mix is one fault configuration: per-message probabilities plus the delay
+// distribution and the daemon-crash rate. All probabilities are in [0, 1].
+type Mix struct {
+	// Drop is the probability a frame is silently lost in the channel.
+	Drop float64
+	// Corrupt is the probability a frame is delivered with flipped bits.
+	Corrupt float64
+	// Duplicate is the probability a frame is delivered twice.
+	Duplicate float64
+	// Delay is the probability a frame is delayed; a delayed frame charges
+	// a uniform draw from [DelayMin, DelayMax] of extra virtual time.
+	Delay              float64
+	DelayMin, DelayMax time.Duration
+	// Crash is the per-served-command probability that lakeD crashes while
+	// handling it (split evenly between crashing before execution — the
+	// command is lost — and after execution — the response is lost).
+	Crash float64
+	// Seed initializes the plane's deterministic PRNG.
+	Seed int64
+}
+
+// active reports whether any message fault can fire.
+func (m Mix) active() bool {
+	return m.Drop > 0 || m.Corrupt > 0 || m.Duplicate > 0 || m.Delay > 0
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Messages   int64 // frames offered to the plane
+	Dropped    int64
+	Corrupted  int64
+	Duplicated int64
+	Delayed    int64
+	// DelayInjected is the total extra virtual time charged.
+	DelayInjected time.Duration
+	// Crashes counts injected daemon crashes (before + after execution).
+	CrashesBefore, CrashesAfter int64
+}
+
+// Crashes is the total number of injected daemon crashes.
+func (s Stats) Crashes() int64 { return s.CrashesBefore + s.CrashesAfter }
+
+// CrashPoint says where in a command's lifetime an injected crash lands.
+type CrashPoint int
+
+// Crash points: none, before the command executes (the command is lost and
+// must be redelivered), or after it executes but before the response is
+// sent (the response is lost; redelivery must not re-execute).
+const (
+	CrashNone CrashPoint = iota
+	CrashBeforeExec
+	CrashAfterExec
+)
+
+func (c CrashPoint) String() string {
+	switch c {
+	case CrashBeforeExec:
+		return "crash-before-exec"
+	case CrashAfterExec:
+		return "crash-after-exec"
+	default:
+		return "no-crash"
+	}
+}
+
+// Plane is one seeded fault injector shared by the transport (message
+// faults) and the daemon (crash faults). Safe for concurrent use; decisions
+// are serialized through one PRNG so a single-threaded run is exactly
+// reproducible from the seed.
+type Plane struct {
+	clock *vtime.Clock
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	mix   Mix
+	stats Stats
+}
+
+// NewPlane creates a fault plane charging delays to clock.
+func NewPlane(mix Mix, clock *vtime.Clock) *Plane {
+	return &Plane{clock: clock, rng: rand.New(rand.NewSource(mix.Seed)), mix: mix}
+}
+
+// SetMix swaps the fault configuration at runtime (the PRNG stream
+// continues; the seed is not reset). Tests use it to heal or break a
+// channel mid-run.
+func (p *Plane) SetMix(mix Mix) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.mix = mix
+	p.mu.Unlock()
+}
+
+// Mix returns the current fault configuration.
+func (p *Plane) Mix() Mix {
+	if p == nil {
+		return Mix{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mix
+}
+
+// Stats snapshots the injected-fault counters.
+func (p *Plane) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// OnMessage applies message faults to one frame about to enter a channel.
+// It returns the frames actually delivered (none when dropped, two when
+// duplicated, possibly corrupted copies) and the extra virtual-time delay
+// to charge. The input frame is never aliased: corrupted copies are fresh
+// allocations, and an untouched frame is passed through as-is.
+//
+// A zero-rate Mix draws nothing from the PRNG and returns the frame
+// unchanged with zero delay, keeping fault-free runs bit-identical.
+func (p *Plane) OnMessage(frame []byte) (deliver [][]byte, delay time.Duration) {
+	if p == nil {
+		return [][]byte{frame}, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.mix.active() {
+		return [][]byte{frame}, 0
+	}
+	p.stats.Messages++
+	if p.mix.Drop > 0 && p.rng.Float64() < p.mix.Drop {
+		p.stats.Dropped++
+		return nil, 0
+	}
+	out := frame
+	if p.mix.Corrupt > 0 && p.rng.Float64() < p.mix.Corrupt {
+		out = p.corruptLocked(frame)
+		p.stats.Corrupted++
+	}
+	deliver = [][]byte{out}
+	if p.mix.Duplicate > 0 && p.rng.Float64() < p.mix.Duplicate {
+		deliver = append(deliver, out)
+		p.stats.Duplicated++
+	}
+	if p.mix.Delay > 0 && p.rng.Float64() < p.mix.Delay {
+		delay = p.mix.DelayMin
+		if span := p.mix.DelayMax - p.mix.DelayMin; span > 0 {
+			delay += time.Duration(p.rng.Int63n(int64(span) + 1))
+		}
+		if delay > 0 {
+			p.stats.Delayed++
+			p.stats.DelayInjected += delay
+		}
+	}
+	return deliver, delay
+}
+
+// corruptLocked returns a copy of frame with 1-3 random bit flips (an empty
+// frame is returned unchanged: there is nothing to flip).
+func (p *Plane) corruptLocked(frame []byte) []byte {
+	if len(frame) == 0 {
+		return frame
+	}
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	for flips := 1 + p.rng.Intn(3); flips > 0; flips-- {
+		cp[p.rng.Intn(len(cp))] ^= 1 << uint(p.rng.Intn(8))
+	}
+	return cp
+}
+
+// CrashNow decides whether the daemon crashes while serving the current
+// command, and if so at which point.
+func (p *Plane) CrashNow() CrashPoint {
+	if p == nil {
+		return CrashNone
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mix.Crash <= 0 || p.rng.Float64() >= p.mix.Crash {
+		return CrashNone
+	}
+	if p.rng.Float64() < 0.5 {
+		p.stats.CrashesBefore++
+		return CrashBeforeExec
+	}
+	p.stats.CrashesAfter++
+	return CrashAfterExec
+}

@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"lakego/internal/vtime"
+)
+
+func frame(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+func TestNilPlaneIsNoOp(t *testing.T) {
+	var p *Plane
+	in := frame(32)
+	out, delay := p.OnMessage(in)
+	if delay != 0 || len(out) != 1 || &out[0][0] != &in[0] {
+		t.Fatalf("nil plane altered the frame: %d copies, delay %v", len(out), delay)
+	}
+	if p.CrashNow() != CrashNone {
+		t.Fatal("nil plane crashed")
+	}
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("nil plane has stats: %+v", s)
+	}
+	p.SetMix(Mix{Drop: 1}) // must not panic
+}
+
+func TestZeroMixPassthroughDrawsNothing(t *testing.T) {
+	clock := vtime.New()
+	p := NewPlane(Mix{Seed: 1}, clock)
+	in := frame(64)
+	for i := 0; i < 100; i++ {
+		out, delay := p.OnMessage(in)
+		if delay != 0 || len(out) != 1 || &out[0][0] != &in[0] {
+			t.Fatalf("zero mix altered the frame on message %d", i)
+		}
+		if p.CrashNow() != CrashNone {
+			t.Fatalf("zero mix crashed on message %d", i)
+		}
+	}
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("zero mix counted faults: %+v", s)
+	}
+	if clock.Now() != 0 {
+		t.Fatalf("zero mix advanced the clock to %v", clock.Now())
+	}
+	// The PRNG stream must be untouched: arm a deterministic mix now and
+	// compare against a fresh plane with the same seed.
+	armed := Mix{Drop: 0.5, Seed: 1}
+	p.SetMix(armed)
+	fresh := NewPlane(armed, vtime.New())
+	for i := 0; i < 200; i++ {
+		a, _ := p.OnMessage(in)
+		b, _ := fresh.OnMessage(in)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("PRNG stream diverged at message %d: zero-mix phase drew from it", i)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	mix := Mix{
+		Drop: 0.1, Corrupt: 0.1, Duplicate: 0.1,
+		Delay: 0.2, DelayMin: time.Microsecond, DelayMax: 50 * time.Microsecond,
+		Crash: 0.05, Seed: 42,
+	}
+	run := func() (Stats, []int, time.Duration) {
+		clock := vtime.New()
+		p := NewPlane(mix, clock)
+		var deliveries []int
+		var total time.Duration
+		in := frame(48)
+		for i := 0; i < 500; i++ {
+			out, delay := p.OnMessage(in)
+			deliveries = append(deliveries, len(out))
+			total += delay
+			p.CrashNow()
+		}
+		return p.Stats(), deliveries, total
+	}
+	s1, d1, t1 := run()
+	s2, d2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Fatalf("same seed, different stats:\n%+v (%v)\n%+v (%v)", s1, t1, s2, t2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("same seed, different delivery at message %d: %d vs %d", i, d1[i], d2[i])
+		}
+	}
+	if s1.Dropped == 0 || s1.Corrupted == 0 || s1.Duplicated == 0 || s1.Delayed == 0 || s1.Crashes() == 0 {
+		t.Fatalf("expected every fault class to fire over 500 messages: %+v", s1)
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	const n = 20000
+	p := NewPlane(Mix{Drop: 0.05, Seed: 7}, vtime.New())
+	in := frame(16)
+	for i := 0; i < n; i++ {
+		p.OnMessage(in)
+	}
+	s := p.Stats()
+	rate := float64(s.Dropped) / float64(n)
+	if rate < 0.04 || rate > 0.06 {
+		t.Fatalf("5%% drop rate produced %.4f over %d messages", rate, n)
+	}
+}
+
+func TestCorruptionNeverAliasesInput(t *testing.T) {
+	p := NewPlane(Mix{Corrupt: 1, Seed: 3}, vtime.New())
+	in := frame(32)
+	orig := append([]byte(nil), in...)
+	for i := 0; i < 50; i++ {
+		out, _ := p.OnMessage(in)
+		if len(out) != 1 {
+			t.Fatalf("corrupt-only mix delivered %d frames", len(out))
+		}
+		if !bytes.Equal(in, orig) {
+			t.Fatal("OnMessage mutated the caller's frame")
+		}
+		if bytes.Equal(out[0], orig) {
+			t.Fatalf("message %d: corrupted copy is identical to the input", i)
+		}
+	}
+	if s := p.Stats(); s.Corrupted != 50 {
+		t.Fatalf("Corrupted = %d, want 50", s.Corrupted)
+	}
+}
+
+func TestDuplicateDeliversSameBytesTwice(t *testing.T) {
+	p := NewPlane(Mix{Duplicate: 1, Seed: 4}, vtime.New())
+	in := frame(24)
+	out, _ := p.OnMessage(in)
+	if len(out) != 2 {
+		t.Fatalf("duplicate-only mix delivered %d frames, want 2", len(out))
+	}
+	if !bytes.Equal(out[0], out[1]) {
+		t.Fatal("duplicate copies differ")
+	}
+}
+
+func TestDelayWithinBounds(t *testing.T) {
+	min, max := 5*time.Microsecond, 20*time.Microsecond
+	p := NewPlane(Mix{Delay: 1, DelayMin: min, DelayMax: max, Seed: 5}, vtime.New())
+	in := frame(8)
+	for i := 0; i < 200; i++ {
+		_, d := p.OnMessage(in)
+		if d < min || d > max {
+			t.Fatalf("message %d: delay %v outside [%v, %v]", i, d, min, max)
+		}
+	}
+	if s := p.Stats(); s.Delayed != 200 || s.DelayInjected < 200*min {
+		t.Fatalf("delay accounting off: %+v", s)
+	}
+}
+
+func TestCrashSplitsBeforeAndAfter(t *testing.T) {
+	p := NewPlane(Mix{Crash: 1, Seed: 6}, vtime.New())
+	var before, after int
+	for i := 0; i < 400; i++ {
+		switch p.CrashNow() {
+		case CrashBeforeExec:
+			before++
+		case CrashAfterExec:
+			after++
+		default:
+			t.Fatal("Crash=1 did not crash")
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Fatalf("crash split degenerate: before=%d after=%d", before, after)
+	}
+	s := p.Stats()
+	if int(s.CrashesBefore) != before || int(s.CrashesAfter) != after || int(s.Crashes()) != before+after {
+		t.Fatalf("crash stats %+v disagree with observed %d/%d", s, before, after)
+	}
+}
+
+func TestCrashPointString(t *testing.T) {
+	cases := map[CrashPoint]string{
+		CrashNone:       "no-crash",
+		CrashBeforeExec: "crash-before-exec",
+		CrashAfterExec:  "crash-after-exec",
+	}
+	for cp, want := range cases {
+		if got := cp.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", cp, got, want)
+		}
+	}
+}

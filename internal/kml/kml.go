@@ -20,6 +20,7 @@ import (
 	"lakego/internal/core"
 	"lakego/internal/nn"
 	"lakego/internal/offload"
+	"lakego/internal/policy"
 )
 
 // Pattern is one I/O access class.
@@ -295,6 +296,18 @@ func (c *Classifier) ClassifyLAKE(batch [][]float32, sync bool) ([]Pattern, time
 		return nil, 0, err
 	}
 	return argmaxAll(out), d, nil
+}
+
+// ClassifyAuto routes the batch through pol and classifies on the decided
+// path, falling back to the kernel CPU path when lakeD is unavailable — a
+// readahead decision is still due even with the accelerator service down.
+// The returned Decision is the path that ran.
+func (c *Classifier) ClassifyAuto(batch [][]float32, pol policy.Func) ([]Pattern, policy.Decision, time.Duration, error) {
+	out, dec, d, err := c.runner.RunAuto(batch, pol)
+	if err != nil {
+		return nil, dec, 0, err
+	}
+	return argmaxAll(out), dec, d, nil
 }
 
 func argmaxAll(out [][]float32) []Pattern {

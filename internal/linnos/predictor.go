@@ -2,12 +2,14 @@ package linnos
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"lakego/internal/core"
 	"lakego/internal/cuda"
 	"lakego/internal/gpu"
 	"lakego/internal/nn"
+	"lakego/internal/policy"
 	"lakego/internal/shm"
 	"lakego/internal/vtime"
 )
@@ -89,6 +91,11 @@ type Predictor struct {
 	devOut  gpu.DevPtr
 	inBuf   *shm.Buffer
 	outBuf  *shm.Buffer
+
+	// stageMu serializes InferLAKE: the staging buffers and device slabs
+	// are one per predictor, so concurrent remoted runs must not
+	// interleave.
+	stageMu sync.Mutex
 }
 
 // kernelName is the device-kernel symbol for a variant.
@@ -195,6 +202,30 @@ func (p *Predictor) InferCPU(batch [][]float32) ([]bool, time.Duration) {
 	return slow, cost
 }
 
+// InferAuto routes the batch through pol (the Fig 3 profitability policy):
+// GPU-profitable batches run the full LAKE stack, and a batch whose remoted
+// path fails because lakeD is unavailable
+// (CUDA_ERROR_SYSTEM_NOT_READY) completes on the kernel CPU path instead —
+// an I/O completion must be predicted fast or slow either way. The returned
+// Decision is the path that actually produced the predictions.
+func (p *Predictor) InferAuto(batch [][]float32, pol policy.Func) ([]bool, policy.Decision, time.Duration, error) {
+	dec := policy.UseGPU
+	if pol != nil {
+		dec = pol(len(batch))
+	}
+	if dec == policy.UseGPU {
+		slow, d, err := p.InferLAKE(batch, true)
+		if err == nil {
+			return slow, policy.UseGPU, d, nil
+		}
+		if res, ok := cuda.AsResult(err); !ok || res != cuda.ErrNotReady {
+			return nil, policy.UseGPU, 0, err
+		}
+	}
+	slow, d := p.InferCPU(batch)
+	return slow, policy.UseCPU, d, nil
+}
+
 // InferLAKE classifies the batch on the GPU through the full LAKE stack and
 // returns the predictions plus the modeled inference time. With sync=true
 // the input staging copy is included in the measured time ("LAKE (sync.)");
@@ -208,6 +239,8 @@ func (p *Predictor) InferLAKE(batch [][]float32, sync bool) ([]bool, time.Durati
 	if n > MaxBatch {
 		return nil, 0, fmt.Errorf("linnos: batch %d exceeds max %d", n, MaxBatch)
 	}
+	p.stageMu.Lock()
+	defer p.stageMu.Unlock()
 	lib := p.rt.Lib()
 	flat := make([]float32, 0, n*InputWidth)
 	for _, x := range batch {

@@ -17,6 +17,7 @@ import (
 	"lakego/internal/core"
 	"lakego/internal/nn"
 	"lakego/internal/offload"
+	"lakego/internal/policy"
 	"lakego/internal/sched"
 )
 
@@ -92,6 +93,18 @@ func (b *Balancer) ClassifyLAKE(batch [][]float32, sync bool) ([]bool, time.Dura
 		return nil, 0, err
 	}
 	return argmax1(out), d, nil
+}
+
+// ClassifyAuto routes the batch through pol and scores on the decided
+// path, falling back to the kernel CPU path when lakeD is unavailable —
+// load-balancing decisions cannot wait out a daemon restart. The returned
+// Decision is the path that ran.
+func (b *Balancer) ClassifyAuto(batch [][]float32, pol policy.Func) ([]bool, policy.Decision, time.Duration, error) {
+	out, dec, d, err := b.runner.RunAuto(batch, pol)
+	if err != nil {
+		return nil, dec, 0, err
+	}
+	return argmax1(out), dec, d, nil
 }
 
 func argmax1(out [][]float32) []bool {

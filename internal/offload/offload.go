@@ -12,11 +12,13 @@ package offload
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"lakego/internal/core"
 	"lakego/internal/cuda"
 	"lakego/internal/gpu"
+	"lakego/internal/policy"
 	"lakego/internal/shm"
 	"lakego/internal/vtime"
 )
@@ -59,6 +61,10 @@ type Runner struct {
 	ctx, fn       uint64
 	devIn, devOut gpu.DevPtr
 	inBuf, outBuf *shm.Buffer
+
+	// stageMu serializes RunLAKE: the staging buffers and device slabs are
+	// one per runner, so concurrent remoted runs must not interleave.
+	stageMu sync.Mutex
 }
 
 // NewRunner registers the device kernel and stages buffers.
@@ -170,6 +176,8 @@ func (r *Runner) RunLAKE(batch [][]float32, sync bool) ([][]float32, time.Durati
 	if n > r.cfg.MaxBatch {
 		return nil, 0, fmt.Errorf("%s: batch %d exceeds max %d", r.cfg.Name, n, r.cfg.MaxBatch)
 	}
+	r.stageMu.Lock()
+	defer r.stageMu.Unlock()
 	flat := make([]float32, 0, n*r.cfg.InputWidth)
 	for _, x := range batch {
 		if len(x) != r.cfg.InputWidth {
@@ -218,6 +226,30 @@ func (r *Runner) RunLAKE(batch [][]float32, sync bool) ([][]float32, time.Durati
 		out[i] = vals[i*r.cfg.OutputWidth : (i+1)*r.cfg.OutputWidth]
 	}
 	return out, elapsed, nil
+}
+
+// RunAuto routes one batch through pol (the Fig 3 profitability policy)
+// and executes it on the decided path. A GPU-routed batch that fails
+// because lakeD is unavailable (CUDA_ERROR_SYSTEM_NOT_READY — declared
+// dead and unrecovered) transparently completes on the kernel CPU
+// fallback; other remoted errors are returned. The returned Decision is
+// the path that actually produced the outputs.
+func (r *Runner) RunAuto(batch [][]float32, pol policy.Func) ([][]float32, policy.Decision, time.Duration, error) {
+	dec := policy.UseGPU
+	if pol != nil {
+		dec = pol(len(batch))
+	}
+	if dec == policy.UseGPU {
+		out, d, err := r.RunLAKE(batch, true)
+		if err == nil {
+			return out, policy.UseGPU, d, nil
+		}
+		if res, ok := cuda.AsResult(err); !ok || res != cuda.ErrNotReady {
+			return nil, policy.UseGPU, 0, err
+		}
+	}
+	out, d := r.RunCPU(batch)
+	return out, policy.UseCPU, d, nil
 }
 
 // SweepPoint is one batch-size measurement across execution paths.

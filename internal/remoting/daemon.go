@@ -6,6 +6,7 @@ import (
 
 	"lakego/internal/boundary"
 	"lakego/internal/cuda"
+	"lakego/internal/faults"
 	"lakego/internal/gpu"
 	"lakego/internal/nvml"
 	"lakego/internal/shm"
@@ -23,14 +24,27 @@ type HighLevelHandler func(api *cuda.API, region *shm.Region, args []uint64, blo
 // the vendor library (§4: "This daemon must have access to the vendor's
 // library (e.g. cudart.so) to realize APIs requested by lakeLib").
 type Daemon struct {
-	api    *cuda.API
-	region *shm.Region
-	tr     *boundary.Transport
+	api     *cuda.API
+	region  *shm.Region
+	tr      *boundary.Transport
+	journal *journal
 
 	mu        sync.Mutex
 	highlevel map[string]HighLevelHandler
 	handled   int64
+	executed  int64
+	crashed   bool
+	// pendingCrash is a test/supervisor-injected crash for the next
+	// executed command; the fault plane injects probabilistic ones.
+	pendingCrash faults.CrashPoint
+	fault        *faults.Plane
+	restarts     int64
+	generation   uint64
+	errlog       []string
 }
+
+// maxErrlog bounds the daemon's attribution log.
+const maxErrlog = 64
 
 // NewDaemon creates a daemon serving the given CUDA API and shared region
 // over the transport.
@@ -39,8 +53,117 @@ func NewDaemon(api *cuda.API, region *shm.Region, tr *boundary.Transport) *Daemo
 		api:       api,
 		region:    region,
 		tr:        tr,
+		journal:   newJournal(0),
 		highlevel: make(map[string]HighLevelHandler),
 	}
+}
+
+// InjectFaults attaches a fault plane whose CrashNow decisions can crash
+// the daemon while serving commands. A nil plane detaches.
+func (d *Daemon) InjectFaults(p *faults.Plane) {
+	d.mu.Lock()
+	d.fault = p
+	d.mu.Unlock()
+}
+
+// InjectCrash schedules a deterministic crash on the next served command:
+// before its execution (the command is lost) or after (the response is
+// lost, proving redelivery dedup). Tests and the chaos harness use it for
+// targeted crash placement.
+func (d *Daemon) InjectCrash(afterExec bool) {
+	d.mu.Lock()
+	if afterExec {
+		d.pendingCrash = faults.CrashAfterExec
+	} else {
+		d.pendingCrash = faults.CrashBeforeExec
+	}
+	d.mu.Unlock()
+}
+
+// Crashed reports whether the daemon process is down. A crashed daemon
+// consumes nothing from the channel: commands queue up (or the client's
+// sends eventually fail) until the supervisor restarts it.
+func (d *Daemon) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// crash marks the daemon dead, recording the crash point for attribution.
+func (d *Daemon) crash(at faults.CrashPoint, cmd *Command) {
+	d.mu.Lock()
+	d.crashed = true
+	d.logErrLocked(fmt.Sprintf("lakeD: %s while serving %s seq=%d", at, cmd.API, cmd.Seq))
+	d.mu.Unlock()
+}
+
+// Restart models the supervisor relaunching lakeD and re-attaching its
+// state: the CUDA contexts and allocations live in the driver and survive,
+// the lakeShm mapping is re-established over the same pinned region, and
+// the sequence journal is recovered from its shm-backed slice — so
+// redelivered in-flight commands still deduplicate across the crash.
+func (d *Daemon) Restart() {
+	d.mu.Lock()
+	d.crashed = false
+	d.pendingCrash = faults.CrashNone
+	d.restarts++
+	d.generation++
+	d.mu.Unlock()
+}
+
+// Restarts counts supervisor restarts; Generation is the current restart
+// epoch (0 for the original process).
+func (d *Daemon) Restarts() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.restarts
+}
+
+// Generation returns the daemon's restart epoch.
+func (d *Daemon) Generation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.generation
+}
+
+// Executed counts commands whose handler actually ran — journal-served
+// redeliveries are excluded, so in an exactly-once run Executed equals the
+// number of distinct client calls that completed.
+func (d *Daemon) Executed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.executed
+}
+
+// Redelivered counts commands answered from the sequence journal instead
+// of being re-executed.
+func (d *Daemon) Redelivered() int64 {
+	hits, _, _ := d.journal.stats()
+	return hits
+}
+
+// Errors returns the daemon's recent failure log. Every entry carries the
+// command name and sequence number, so chaos-test failures are
+// attributable to a specific remoted call.
+func (d *Daemon) Errors() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.errlog))
+	copy(out, d.errlog)
+	return out
+}
+
+func (d *Daemon) logErrLocked(msg string) {
+	if len(d.errlog) >= maxErrlog {
+		d.errlog = d.errlog[1:]
+	}
+	d.errlog = append(d.errlog, msg)
+}
+
+func (d *Daemon) logErr(msg string) {
+	d.mu.Lock()
+	d.logErrLocked(msg)
+	d.mu.Unlock()
 }
 
 // API exposes the daemon's CUDA binding (the "vendor library" it links).
@@ -70,41 +193,117 @@ func (d *Daemon) RegisterHighLevel(name string, h HighLevelHandler) {
 
 // PumpOne receives and serves a single pending command, sending its
 // response back through the transport. It reports whether a command was
-// pending.
+// served. A crashed daemon serves nothing — the process is down — until
+// the supervisor restarts it.
+//
+// Exactly-once protocol: before any response is sent, the (seq, response)
+// pair is recorded in the sequence journal. A frame whose sequence is
+// already journaled — a client retry after a lost response, or a channel
+// duplicate — is answered from the journal without re-executing.
 func (d *Daemon) PumpOne() bool {
+	if d.Crashed() {
+		return false
+	}
 	frame, ok := d.tr.RecvInUser()
 	if !ok {
 		return false
 	}
-	resp := d.handleFrame(frame)
-	out, err := MarshalResponse(resp)
+	cmd, err := UnmarshalCommand(frame)
 	if err != nil {
-		// A response we built ourselves must marshal; failure is a bug.
-		panic(fmt.Sprintf("remoting: marshal response: %v", err))
+		// Undecodable frame: no trustworthy sequence to journal. Answer
+		// with a seq-0 error the client demux will discard, forcing a
+		// clean retransmit of the command.
+		d.logErr(fmt.Sprintf("lakeD: corrupt frame (%d bytes): %v", len(frame), err))
+		d.respond(mustMarshalResponse(&Response{Result: int32(cuda.ErrInvalidValue)}))
+		return true
 	}
+	if cached, dup := d.journal.lookup(cmd.Seq); dup {
+		d.respond(cached)
+		return true
+	}
+	switch d.crashPoint() {
+	case faults.CrashBeforeExec:
+		// The process dies holding the consumed command: it never
+		// executes and the client must redeliver it.
+		d.crash(faults.CrashBeforeExec, cmd)
+		return false
+	case faults.CrashAfterExec:
+		// The command executes and its response is journaled (the journal
+		// write is part of serving, in the shm-backed slice), but the
+		// process dies before the response reaches the socket. The
+		// client's redelivery is answered from the journal — never
+		// re-executed.
+		out := mustMarshalResponse(d.handleCmd(cmd))
+		d.journal.record(cmd.Seq, out)
+		d.crash(faults.CrashAfterExec, cmd)
+		return false
+	}
+	out := mustMarshalResponse(d.handleCmd(cmd))
+	d.journal.record(cmd.Seq, out)
+	d.respond(out)
+	return true
+}
+
+// crashPoint consumes any pending injected crash, else asks the fault
+// plane.
+func (d *Daemon) crashPoint() faults.CrashPoint {
+	d.mu.Lock()
+	p := d.pendingCrash
+	d.pendingCrash = faults.CrashNone
+	fault := d.fault
+	d.mu.Unlock()
+	if p != faults.CrashNone {
+		return p
+	}
+	return fault.CrashNow()
+}
+
+// respond sends a response frame, tolerating a transport closed mid-flight
+// (a dead socket drops the bytes).
+func (d *Daemon) respond(out []byte) {
 	if err := d.tr.SendToKernel(out); err != nil {
-		return true // transport closed mid-flight; drop, like a dead socket
+		return
 	}
 	d.mu.Lock()
 	d.handled++
 	d.mu.Unlock()
-	return true
 }
 
-func (d *Daemon) handleFrame(frame []byte) (resp *Response) {
-	cmd, err := UnmarshalCommand(frame)
+// mustMarshalResponse encodes a response the daemon built itself; failure
+// is a bug, not an input condition.
+func mustMarshalResponse(resp *Response) []byte {
+	out, err := MarshalResponse(resp)
 	if err != nil {
-		return &Response{Result: int32(cuda.ErrInvalidValue)}
+		panic(fmt.Sprintf("remoting: marshal response: %v", err))
 	}
+	return out
+}
+
+// handleCmd executes one decoded command, surviving handler panics and
+// logging every failure with the command name and sequence so chaos-test
+// failures are attributable.
+func (d *Daemon) handleCmd(cmd *Command) (resp *Response) {
 	// The daemon is a long-lived trusted process (§6.1); a buggy
 	// high-level handler or device kernel must fail the one request, not
 	// the daemon. Mirrors the sandboxing posture the paper suggests.
 	defer func() {
 		if r := recover(); r != nil {
+			d.logErr(fmt.Sprintf("lakeD: panic in %s seq=%d: %v", cmd.API, cmd.Seq, r))
 			resp = &Response{Seq: cmd.Seq, Result: int32(cuda.ErrUnknown)}
 		}
 	}()
-	return d.execute(cmd)
+	if cmd.API != APIPing {
+		// Heartbeats are supervision traffic, not workload: Executed stays
+		// comparable to the number of distinct client calls.
+		d.mu.Lock()
+		d.executed++
+		d.mu.Unlock()
+	}
+	resp = d.execute(cmd)
+	if r := cuda.Result(resp.Result); r != cuda.Success {
+		d.logErr(fmt.Sprintf("lakeD: %s seq=%d: %s", cmd.API, cmd.Seq, r))
+	}
+	return resp
 }
 
 // arg returns cmd.Args[i] or 0 when absent; handlers validate semantics.
@@ -208,6 +407,14 @@ func (d *Daemon) execute(cmd *Command) *Response {
 
 	case APIBatchedInfer:
 		return d.batchedInfer(cmd)
+
+	case APIPing:
+		// Heartbeat (supervision): reports the restart generation and the
+		// served-command count, letting the supervisor detect silent
+		// restarts and confirm liveness after ReAttached.
+		d.mu.Lock()
+		resp.Vals = []uint64{d.generation, uint64(d.handled)}
+		d.mu.Unlock()
 
 	case APIHighLevel:
 		d.mu.Lock()

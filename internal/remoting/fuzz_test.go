@@ -3,6 +3,9 @@ package remoting
 import (
 	"bytes"
 	"testing"
+	"time"
+
+	"lakego/internal/cuda"
 )
 
 // FuzzUnmarshalCommand: arbitrary bytes must never panic the decoder, and
@@ -113,6 +116,58 @@ func FuzzDaemonFrame(f *testing.F) {
 		}
 		if _, err := UnmarshalResponse(resp); err != nil {
 			t.Fatalf("unparseable response: %v", err)
+		}
+	})
+}
+
+// FuzzResponseDemux: arbitrary garbage landing on the kernel-bound
+// (response) channel ahead of a real exchange must never panic the
+// resilient demux or wedge the stack. The poisoned call may observe a
+// spoofed result (the simulated channel has a single trusted writer, so
+// spoofing is outside the threat model), but the demux must discard
+// non-matching frames and the next call must complete cleanly.
+func FuzzResponseDemux(f *testing.F) {
+	spoof, _ := MarshalResponse(&Response{Seq: 999, Result: 0, Vals: []uint64{7}})
+	f.Add(spoof)
+	f.Add([]byte{})
+	f.Add([]byte{respMagic})
+	f.Add([]byte{respMagic, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xEE, 0xDD})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := newStack(t)
+		s.lib.EnableResilience(Resilience{Seed: 9, Retry: RetryPolicy{MaxAttempts: 8}})
+		if r := s.lib.CuInit(); r != cuda.Success {
+			t.Fatalf("CuInit: %s", r)
+		}
+		if err := s.tr.SendToKernel(data); err != nil {
+			return
+		}
+		s.lib.CuDeviceGetCount() // must terminate; result may be spoofed
+		if _, r := s.lib.CuDeviceGetCount(); r != cuda.Success {
+			t.Fatalf("call after garbage was demuxed failed: %s", r)
+		}
+		if !s.lib.Healthy() {
+			t.Fatal("garbage response frame killed the channel")
+		}
+	})
+}
+
+// FuzzBackoffFor: any attempt/draw combination must yield a backoff within
+// [0, MaxBackoff*(1+Jitter)] — no negative sleeps, no overflow blowups.
+func FuzzBackoffFor(f *testing.F) {
+	f.Add(0, 0.5)
+	f.Add(63, 1.0)
+	f.Add(1000000, 0.0)
+	f.Add(-5, 0.25)
+	f.Fuzz(func(t *testing.T, attempt int, draw float64) {
+		if draw < 0 || draw > 1 || draw != draw {
+			return // BackoffFor's contract: draw in [0, 1]
+		}
+		p := DefaultRetryPolicy()
+		d := p.BackoffFor(attempt, draw)
+		limit := p.MaxBackoff + time.Duration(float64(p.MaxBackoff)*p.Jitter)
+		if d < 0 || d > limit {
+			t.Fatalf("BackoffFor(%d, %v) = %v outside [0, %v]", attempt, draw, d, limit)
 		}
 	})
 }

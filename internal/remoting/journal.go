@@ -1,0 +1,77 @@
+package remoting
+
+import "sync"
+
+// journal is lakeD's exactly-once dedup log: every executed command's
+// response frame is recorded under its sequence number before the response
+// is sent. A redelivered sequence (a client retry after a lost response, or
+// a duplicated frame in the channel) is answered from the journal without
+// re-executing — the command's side effects happen at most once.
+//
+// In the modeled deployment the journal lives in a lakeD-private slice of
+// the pinned CMA region backing lakeShm, which is why it survives a daemon
+// crash: the restarted process re-attaches the same region and resumes
+// deduplicating against pre-crash sequences. Here that persistence is
+// modeled by the supervisor handing the same journal to the daemon across
+// Restart.
+//
+// Capacity is bounded FIFO: sequence numbers are issued monotonically and a
+// client abandons a call long before the journal cycles, so evicting the
+// oldest entries is safe.
+type journal struct {
+	mu     sync.Mutex
+	cap    int
+	byseq  map[uint64][]byte
+	fifo   []uint64
+	hits   int64
+	evicts int64
+}
+
+// defaultJournalCap covers far more in-flight sequences than the transport
+// can buffer; see the eviction argument above.
+const defaultJournalCap = 4096
+
+func newJournal(capacity int) *journal {
+	if capacity <= 0 {
+		capacity = defaultJournalCap
+	}
+	return &journal{cap: capacity, byseq: make(map[uint64][]byte, capacity)}
+}
+
+// lookup returns the recorded response frame for seq, if any, counting a
+// hit (a detected redelivery).
+func (j *journal) lookup(seq uint64) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	frame, ok := j.byseq[seq]
+	if ok {
+		j.hits++
+	}
+	return frame, ok
+}
+
+// record stores the response frame for seq, evicting the oldest entry at
+// capacity. Recording an already-present seq is a no-op (the first
+// execution's response stands).
+func (j *journal) record(seq uint64, frame []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.byseq[seq]; dup {
+		return
+	}
+	if len(j.fifo) >= j.cap {
+		old := j.fifo[0]
+		j.fifo = j.fifo[1:]
+		delete(j.byseq, old)
+		j.evicts++
+	}
+	j.byseq[seq] = frame
+	j.fifo = append(j.fifo, seq)
+}
+
+// stats returns (hits, evictions, live entries).
+func (j *journal) stats() (hits, evicts int64, live int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits, j.evicts, len(j.fifo)
+}

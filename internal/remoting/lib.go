@@ -42,6 +42,17 @@ type Lib struct {
 	mu          sync.Mutex
 	calls       int64
 	remotedTime time.Duration
+
+	// res arms the fault-tolerant call path; nil keeps the legacy
+	// single-attempt exchange byte-for-byte unchanged.
+	res    *Resilience
+	rng    *lockedRand
+	rstats ResilienceStats
+	// dead is set once a call abandons the daemon as unrecoverable; later
+	// calls fail fast with ErrDaemonDead (mapped to cuda.ErrNotReady by the
+	// stubs, routing workloads to their CPU fallback) until the supervisor
+	// restores service and calls MarkRecovered.
+	dead bool
 }
 
 // NewLib creates the kernel-side stub library. The daemon is driven
@@ -61,6 +72,63 @@ func (l *Lib) Stats() (calls int64, channelTime time.Duration) {
 	return l.calls, l.remotedTime
 }
 
+// EnableResilience arms the fault-tolerant call path: per-call deadlines,
+// bounded retry with exponential backoff and seeded jitter, and (via
+// r.Hook) supervisor-driven daemon recovery mid-call. With faults absent
+// the resilient path performs exactly the legacy exchange — no extra
+// clock charges and no PRNG draws — so crash-free runs stay bit-identical.
+func (l *Lib) EnableResilience(r Resilience) {
+	r.Retry = r.Retry.withDefaults()
+	if r.MaxRecoveries <= 0 {
+		r.MaxRecoveries = DefaultResilience().MaxRecoveries
+	}
+	l.mu.Lock()
+	l.res = &r
+	l.rng = newLockedRand(r.Seed)
+	l.mu.Unlock()
+}
+
+// ResilienceStats returns a snapshot of client-side fault-handling counters.
+func (l *Lib) ResilienceStats() ResilienceStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rstats
+}
+
+// Healthy reports whether the daemon is believed alive. False means a call
+// declared it dead (ErrDaemonDead); stubs return cuda.ErrNotReady and
+// workloads run their CPU fallback until MarkRecovered.
+func (l *Lib) Healthy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.dead
+}
+
+// MarkRecovered clears the daemon-dead latch after the supervisor has
+// restarted lakeD and confirmed liveness (typically via Ping).
+func (l *Lib) MarkRecovered() {
+	l.mu.Lock()
+	l.dead = false
+	l.mu.Unlock()
+}
+
+// Ping remotes the supervision heartbeat, returning the daemon's restart
+// generation and served-command count. It bypasses the daemon-dead fast
+// path so the supervisor can probe a daemon it just restarted.
+func (l *Lib) Ping() (generation uint64, handled int64, ok bool) {
+	resp, err := l.call(&Command{API: APIPing})
+	if err != nil || cuda.Result(resp.Result) != cuda.Success {
+		return 0, 0, false
+	}
+	return val(resp, 0), int64(val(resp, 1)), true
+}
+
+func (l *Lib) resilience() *Resilience {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.res
+}
+
 // call performs one remoted invocation end to end.
 func (l *Lib) call(cmd *Command) (*Response, error) {
 	cmd.Seq = l.seq.Add(1)
@@ -70,6 +138,17 @@ func (l *Lib) call(cmd *Command) (*Response, error) {
 	}
 	l.callMu.Lock()
 	defer l.callMu.Unlock()
+	res := l.resilience()
+	if res == nil {
+		return l.exchangeOnce(cmd, frame)
+	}
+	return l.exchangeResilient(cmd, frame, res)
+}
+
+// exchangeOnce is the legacy single-attempt exchange: one send, one pump,
+// one receive, strict sequence match. Kept verbatim so stacks that never
+// arm resilience behave exactly as before.
+func (l *Lib) exchangeOnce(cmd *Command, frame []byte) (*Response, error) {
 	if err := l.tr.SendToUser(frame); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrTransport, err)
 	}
@@ -98,9 +177,118 @@ func (l *Lib) call(cmd *Command) (*Response, error) {
 	return resp, nil
 }
 
+// exchangeResilient performs one call under the armed Resilience: bounded
+// retransmission of the same sequence number (the daemon-side journal makes
+// redelivery exactly-once), exponential backoff with deterministic jitter
+// charged to the virtual clock, a per-call virtual-time deadline, and the
+// recovery hook when a full retry round fails. Every error is wrapped with
+// the command name and sequence for attribution.
+func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*Response, error) {
+	if cmd.API != APIPing && !l.Healthy() {
+		l.mu.Lock()
+		l.rstats.DaemonDead++
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%s seq=%d: %w", cmd.API, cmd.Seq, ErrDaemonDead)
+	}
+	start := l.tr.Clock().Now()
+	overDeadline := func() bool {
+		return res.CallDeadline > 0 && l.tr.Clock().Now()-start > res.CallDeadline
+	}
+	recoveries := 0
+	attempt := 0 // failed attempts in the current retry round
+	var lastErr error
+	for {
+		if overDeadline() {
+			l.mu.Lock()
+			l.rstats.DeadlineExceeded++
+			l.mu.Unlock()
+			return nil, fmt.Errorf("%s seq=%d after %v: %w (last: %v)",
+				cmd.API, cmd.Seq, l.tr.Clock().Now()-start, ErrDeadlineExceeded, lastErr)
+		}
+		resp, err := l.attemptOnce(cmd, frame)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		attempt++
+		if attempt < res.Retry.MaxAttempts {
+			// Wait out the backoff on the virtual clock, then retransmit
+			// the same frame: same sequence, so a daemon that already
+			// executed it answers from its journal.
+			l.mu.Lock()
+			l.rstats.Retries++
+			l.mu.Unlock()
+			l.tr.Clock().Advance(res.Retry.BackoffFor(attempt-1, l.rng.draw()))
+			continue
+		}
+		// Full round exhausted: the daemon is unresponsive. Give the
+		// supervisor a chance to recover it, then redeliver.
+		if res.Hook != nil && recoveries < res.MaxRecoveries &&
+			res.Hook.DaemonUnresponsive(cmd.API, cmd.Seq, err) {
+			recoveries++
+			attempt = 0
+			l.mu.Lock()
+			l.rstats.Recoveries++
+			l.mu.Unlock()
+			continue
+		}
+		l.mu.Lock()
+		l.rstats.DaemonDead++
+		l.dead = true
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%s seq=%d: %w (last: %v)", cmd.API, cmd.Seq, ErrDaemonDead, err)
+	}
+}
+
+// attemptOnce sends frame, drives the daemon through everything queued
+// (retransmissions and channel duplicates dedup via the journal), and
+// demultiplexes responses: corrupt frames and stale sequences are counted
+// and discarded; only this call's sequence completes the attempt.
+func (l *Lib) attemptOnce(cmd *Command, frame []byte) (*Response, error) {
+	if err := l.tr.SendToUser(frame); err != nil {
+		return nil, fmt.Errorf("%s seq=%d: %w: %v", cmd.API, cmd.Seq, ErrTransport, err)
+	}
+	for l.daemon.PumpOne() {
+	}
+	for {
+		respFrame, ok := l.tr.RecvInKernel()
+		if !ok {
+			return nil, fmt.Errorf("%s seq=%d: %w: no response", cmd.API, cmd.Seq, ErrTransport)
+		}
+		resp, err := UnmarshalResponse(respFrame)
+		if err != nil {
+			l.mu.Lock()
+			l.rstats.CorruptResponses++
+			l.mu.Unlock()
+			continue
+		}
+		if resp.Seq != cmd.Seq {
+			// A duplicate of an earlier call's response, a journal
+			// redelivery that raced a completed call, or the daemon's
+			// seq-0 reject of a corrupted command.
+			l.mu.Lock()
+			l.rstats.StaleResponses++
+			l.mu.Unlock()
+			continue
+		}
+		d := l.tr.ChargeRoundTrip(len(frame) + len(respFrame))
+		l.mu.Lock()
+		l.calls++
+		l.remotedTime += d
+		l.mu.Unlock()
+		return resp, nil
+	}
+}
+
 func (l *Lib) callRes(cmd *Command) (cuda.Result, *Response) {
 	resp, err := l.call(cmd)
 	if err != nil {
+		if errors.Is(err, ErrDaemonDead) || errors.Is(err, ErrDeadlineExceeded) {
+			// The accelerator service is unavailable, not the request
+			// invalid: surface CUDA_ERROR_SYSTEM_NOT_READY so callers
+			// route to their CPU fallback (Fig 3 policy handles the rest).
+			return cuda.ErrNotReady, nil
+		}
 		return cuda.ErrUnknown, nil
 	}
 	return cuda.Result(resp.Result), resp

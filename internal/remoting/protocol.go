@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 )
 
@@ -53,6 +54,10 @@ const (
 	APICuLaunchKernelAsync
 	APICuMemGetInfo
 	APIBatchedInfer
+	// APIPing is the supervisor's health probe: lakeD answers with its
+	// restart generation and handled-command count. It exercises the full
+	// wire path, so a dead daemon or broken channel fails it like any call.
+	APIPing
 )
 
 var apiNames = map[APIID]string{
@@ -79,6 +84,7 @@ var apiNames = map[APIID]string{
 	APICuLaunchKernelAsync: "cuLaunchKernel(stream)",
 	APICuMemGetInfo:        "cuMemGetInfo",
 	APIBatchedInfer:        "lakeBatchedInfer",
+	APIPing:                "lakePing",
 }
 
 func (id APIID) String() string {
@@ -128,13 +134,40 @@ const (
 	respMagic = 0xE1
 )
 
+// Every frame ends with a CRC32-C of the preceding bytes. A corrupted
+// channel (the fault plane's bit flips, or a real DMA/socket fault) must be
+// detected at the decoder, never executed: an undetected flip inside Args
+// would silently run the wrong command against the device.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const crcLen = 4
+
+// sealFrame appends the integrity trailer to a fully encoded frame.
+func sealFrame(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// openFrame verifies and strips the integrity trailer, returning the frame
+// body. Truncated or corrupted frames yield ErrShortFrame.
+func openFrame(frame []byte) ([]byte, error) {
+	if len(frame) < crcLen+1 {
+		return nil, ErrShortFrame
+	}
+	body := frame[:len(frame)-crcLen]
+	want := binary.LittleEndian.Uint32(frame[len(frame)-crcLen:])
+	if crc32.Checksum(body, crcTable) != want {
+		return nil, ErrShortFrame
+	}
+	return body, nil
+}
+
 // MarshalCommand encodes c into a wire frame.
 func MarshalCommand(c *Command) ([]byte, error) {
 	if len(c.Args) > maxArgs || len(c.Name) > maxName || len(c.Blob) > maxBlob {
 		return nil, fmt.Errorf("remoting: command exceeds wire limits (args=%d name=%d blob=%d)",
 			len(c.Args), len(c.Name), len(c.Blob))
 	}
-	n := 1 + 4 + 8 + 2 + 8*len(c.Args) + 2 + len(c.Name) + 4 + len(c.Blob)
+	n := 1 + 4 + 8 + 2 + 8*len(c.Args) + 2 + len(c.Name) + 4 + len(c.Blob) + crcLen
 	buf := make([]byte, 0, n)
 	buf = append(buf, cmdMagic)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.API))
@@ -147,12 +180,18 @@ func MarshalCommand(c *Command) ([]byte, error) {
 	buf = append(buf, c.Name...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Blob)))
 	buf = append(buf, c.Blob...)
-	return buf, nil
+	return sealFrame(buf), nil
 }
 
-// UnmarshalCommand decodes a wire frame produced by MarshalCommand.
+// UnmarshalCommand decodes a wire frame produced by MarshalCommand. The
+// frame's CRC trailer must verify and every byte must be accounted for:
+// a flipped bit anywhere is rejected, never executed.
 func UnmarshalCommand(frame []byte) (*Command, error) {
-	r := reader{buf: frame}
+	body, err := openFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{buf: body}
 	if m, err := r.u8(); err != nil || m != cmdMagic {
 		return nil, ErrShortFrame
 	}
@@ -185,6 +224,9 @@ func UnmarshalCommand(frame []byte) (*Command, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.pos != len(body) {
+		return nil, ErrShortFrame
+	}
 	return &Command{API: APIID(api), Seq: seq, Args: args, Name: name, Blob: blob}, nil
 }
 
@@ -193,7 +235,7 @@ func MarshalResponse(resp *Response) ([]byte, error) {
 	if len(resp.Vals) > maxArgs || len(resp.Blob) > maxBlob {
 		return nil, fmt.Errorf("remoting: response exceeds wire limits")
 	}
-	n := 1 + 8 + 4 + 2 + 8*len(resp.Vals) + 4 + len(resp.Blob)
+	n := 1 + 8 + 4 + 2 + 8*len(resp.Vals) + 4 + len(resp.Blob) + crcLen
 	buf := make([]byte, 0, n)
 	buf = append(buf, respMagic)
 	buf = binary.LittleEndian.AppendUint64(buf, resp.Seq)
@@ -204,12 +246,17 @@ func MarshalResponse(resp *Response) ([]byte, error) {
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(resp.Blob)))
 	buf = append(buf, resp.Blob...)
-	return buf, nil
+	return sealFrame(buf), nil
 }
 
-// UnmarshalResponse decodes a wire frame produced by MarshalResponse.
+// UnmarshalResponse decodes a wire frame produced by MarshalResponse,
+// verifying the CRC trailer and exact framing like UnmarshalCommand.
 func UnmarshalResponse(frame []byte) (*Response, error) {
-	r := reader{buf: frame}
+	body, err := openFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	r := reader{buf: body}
 	if m, err := r.u8(); err != nil || m != respMagic {
 		return nil, ErrShortFrame
 	}
@@ -237,6 +284,9 @@ func UnmarshalResponse(frame []byte) (*Response, error) {
 	blob, err := r.blob()
 	if err != nil {
 		return nil, err
+	}
+	if r.pos != len(body) {
+		return nil, ErrShortFrame
 	}
 	return &Response{Seq: seq, Result: int32(res), Vals: vals, Blob: blob}, nil
 }

@@ -30,6 +30,7 @@ import (
 	"lakego/internal/boundary"
 	"lakego/internal/core"
 	"lakego/internal/cuda"
+	"lakego/internal/faults"
 	"lakego/internal/features"
 	"lakego/internal/gpu"
 	"lakego/internal/policy"
@@ -118,6 +119,47 @@ var ErrBackpressure = batcher.ErrBackpressure
 // DefaultBatcherConfig returns the batching defaults (32-item target
 // batches, 100µs max-wait flush deadline).
 func DefaultBatcherConfig() BatcherConfig { return batcher.DefaultConfig() }
+
+// Fault-injection and recovery types (internal/faults, internal/core
+// supervision, internal/remoting resilience). Set Config.Faults to attach
+// a deterministic fault plane to a runtime's command channel and daemon;
+// resilience (retry + backoff + recovery) arms automatically, with the
+// runtime's Supervisor as the recovery hook.
+type (
+	// FaultMix is the seeded fault configuration (drop/corrupt/duplicate/
+	// delay rates plus daemon-crash probability).
+	FaultMix = faults.Mix
+	// FaultPlane is an attached fault injector; query Stats for what it did.
+	FaultPlane = faults.Plane
+	// FaultStats counts injected faults.
+	FaultStats = faults.Stats
+	// Supervisor watches lakeD, restarts it on crash, and re-attaches state.
+	Supervisor = core.Supervisor
+	// SupervisorConfig parameterizes supervision thresholds.
+	SupervisorConfig = core.SupervisorConfig
+	// DaemonState is the supervisor's recovery state machine state.
+	DaemonState = core.DaemonState
+	// Resilience arms lakeLib's deadlines, retries and recovery hook.
+	Resilience = remoting.Resilience
+	// RetryPolicy is the exponential-backoff schedule with deterministic
+	// jitter.
+	RetryPolicy = remoting.RetryPolicy
+	// ResilienceStats counts client-side fault handling events.
+	ResilienceStats = remoting.ResilienceStats
+)
+
+// ErrNotReady (CUDA_ERROR_SYSTEM_NOT_READY) is what remoted stubs return
+// when lakeD is declared dead: route to the CPU fallback.
+const ErrNotReady = cuda.ErrNotReady
+
+// DefaultResilience returns the default client robustness configuration.
+func DefaultResilience() Resilience { return remoting.DefaultResilience() }
+
+// HealthGated wraps a policy so offload is only considered while healthy()
+// holds — e.g. policy.HealthGated(adaptive.Decide, rt.Lib().Healthy).
+func HealthGated(inner PolicyFunc, healthy func() bool) PolicyFunc {
+	return policy.HealthGated(inner, healthy)
+}
 
 // Policy types (§4.2, §4.3).
 type (

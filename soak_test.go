@@ -6,6 +6,7 @@ package lake_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	lake "lakego"
 	"lakego/internal/cuda"
@@ -110,4 +111,153 @@ func TestSoakConcurrentMixedLoad(t *testing.T) {
 	if got := reg.Commits(); got != int64(workers*iters/4) {
 		t.Fatalf("commits = %d, want %d", got, workers*iters/4)
 	}
+}
+
+// TestSoakUnderFaults is the fault-enabled soak: the same concurrent mixed
+// load as above, but with 1% of channel messages dropped and the daemon
+// periodically crashed and supervisor-restarted underneath it. The load
+// must complete with nothing lost and nothing double-executed — the
+// kernel-launch and feature-commit counters are exact, so a lost or
+// re-executed command shows up as an off-by-N.
+func TestSoakUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cfg := lake.DefaultConfig()
+	cfg.Faults = &lake.FaultMix{Drop: 0.01, Seed: 31}
+	cfg.Supervision = lake.SupervisorConfig{MaxRestarts: 1 << 20}
+	rt, err := lake.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.RegisterKernel(lake.VecAddKernel())
+	rt.Daemon().RegisterHighLevel("sum", func(api *cuda.API, region *shm.Region, args []uint64, blob []byte) ([]uint64, []byte, cuda.Result) {
+		var s uint64
+		for _, a := range args {
+			s += a
+		}
+		return []uint64{s}, nil, cuda.Success
+	})
+
+	reg, err := rt.Features().CreateRegistry("soak-faulty", "sys", lake.FeatureSchema{
+		{Key: "pend", Size: 8, Entries: 1},
+	}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One crash is armed before any worker runs, so at least one restart
+	// happens regardless of how the scheduler interleaves the crash driver
+	// with the (much faster) workers.
+	rt.Daemon().InjectCrash(true)
+
+	const workers = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lib := rt.Lib()
+			ctx, r := lib.CuCtxCreate("soak-faulty")
+			if r != lake.Success {
+				errs <- "ctx: " + r.String()
+				return
+			}
+			mod, _ := lib.CuModuleLoad("m")
+			fn, r := lib.CuModuleGetFunction(mod, "vecadd")
+			if r != lake.Success {
+				errs <- "fn: " + r.String()
+				return
+			}
+			buf, err := rt.Region().Alloc(4 * 16)
+			if err != nil {
+				errs <- err.Error()
+				return
+			}
+			dp, _ := lib.CuMemAlloc(4 * 16)
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0: // remoted compute round
+					if r := lib.CuMemcpyHtoDShm(dp, buf, 4*16); r != lake.Success {
+						errs <- "htod: " + r.String()
+						return
+					}
+					if r := lib.CuLaunchKernel(ctx, fn, []uint64{uint64(dp), uint64(dp), uint64(dp), 16}); r != lake.Success {
+						errs <- "launch: " + r.String()
+						return
+					}
+				case 1: // feature capture
+					reg.CaptureFeatureIncr("pend", 1)
+					reg.BeginCapture(rt.Clock().Now())
+					reg.CommitCapture(rt.Clock().Now())
+					reg.CaptureFeatureIncr("pend", -1)
+				case 2: // redundant remoted query
+					if _, r := lib.CuDeviceGetCount(); r != lake.Success {
+						errs <- "devcount: " + r.String()
+						return
+					}
+				case 3: // high-level API
+					vals, _, r := lib.CallHighLevel("sum", []uint64{uint64(w), uint64(i)}, nil)
+					if r != lake.Success || vals[0] != uint64(w+i) {
+						errs <- "sum wrong"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Crash driver: periodically kill the daemon (alternating crash
+	// placement) and let the supervisor heartbeat race the in-call
+	// recovery path.
+	stop := make(chan struct{})
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		daemon, sup := rt.Daemon(), rt.Supervisor()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			daemon.InjectCrash(i%2 == 0)
+			sup.Check()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	driver.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	st := rt.Stats()
+	wantLaunches := int64(workers * iters / 4)
+	if st.KernelLaunches != wantLaunches {
+		t.Fatalf("launches = %d, want %d (lost or re-executed launches)", st.KernelLaunches, wantLaunches)
+	}
+	if got := reg.Commits(); got != int64(workers*iters/4) {
+		t.Fatalf("commits = %d, want %d", got, workers*iters/4)
+	}
+	rs := rt.Lib().ResilienceStats()
+	if rs.DaemonDead != 0 || rs.DeadlineExceeded != 0 {
+		t.Fatalf("abandoned calls during faulty soak: %+v", rs)
+	}
+	if fs := rt.FaultPlane().Stats(); fs.Dropped == 0 {
+		t.Fatalf("1%% drop mix never fired over %d messages", fs.Messages)
+	}
+	if rt.Daemon().Restarts() == 0 {
+		t.Fatal("crash driver produced no restarts")
+	}
+	t.Logf("faulty soak: %d retries, %d redeliveries, %d restarts, handled=%d executed=%d",
+		rs.Retries, rt.Daemon().Redelivered(), rt.Daemon().Restarts(),
+		st.DaemonHandled, st.DaemonExecuted)
 }

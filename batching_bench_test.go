@@ -56,12 +56,21 @@ func (r batchBenchRun) p99() time.Duration {
 	return sorted[len(sorted)*99/100]
 }
 
+// benchConfig builds the benchmark runtime configuration; telemetry is on
+// by default (the production shape) and disabled only by the overhead
+// comparison runs.
+func benchConfig(disableTelemetry bool) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.DisableTelemetry = disableTelemetry
+	return cfg
+}
+
 // runUnbatchedLinnOS is the baseline: every client remotes its own
 // single-request batches through its own predictor staging, as today's
 // per-subsystem integration does.
 func runUnbatchedLinnOS(tb testing.TB, clients, perClient int) batchBenchRun {
 	tb.Helper()
-	rt, err := core.New(core.DefaultConfig())
+	rt, err := core.New(benchConfig(false))
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -108,8 +117,14 @@ func runUnbatchedLinnOS(tb testing.TB, clients, perClient int) batchBenchRun {
 // runBatchedLinnOS routes the same request streams through the batching
 // subsystem and asserts the flush deadline was honored.
 func runBatchedLinnOS(tb testing.TB, clients, perClient int) batchBenchRun {
+	return runBatchedLinnOSCfg(tb, clients, perClient, benchConfig(false))
+}
+
+// runBatchedLinnOSCfg is runBatchedLinnOS on an explicit runtime
+// configuration; the telemetry overhead comparisons flip DisableTelemetry.
+func runBatchedLinnOSCfg(tb testing.TB, clients, perClient int, rcfg core.Config) batchBenchRun {
 	tb.Helper()
-	rt, err := core.New(core.DefaultConfig())
+	rt, err := core.New(rcfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -186,6 +201,27 @@ func BenchmarkBatchedInference(b *testing.B) {
 			b.ReportMetric(batched.throughput()/unbatched.throughput(), "speedup")
 			b.ReportMetric(float64(batched.p99().Microseconds()), "batched_p99_us")
 			b.ReportMetric(float64(unbatched.p99().Microseconds()), "unbatched_p99_us")
+		})
+	}
+}
+
+// BenchmarkBatchedInferenceTelemetry pits the same batched workload with
+// the observability plane enabled (the default) against a runtime booted
+// with DisableTelemetry, so benchdiff and the CI gate can watch the
+// instrumentation's hot-path cost directly. The acceptance bound (<5%
+// wall-clock overhead) is enforced by TestTelemetryOverhead.
+func BenchmarkBatchedInferenceTelemetry(b *testing.B) {
+	const clients = 32
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"enabled", false}, {"disabled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var run batchBenchRun
+			for i := 0; i < b.N; i++ {
+				run = runBatchedLinnOSCfg(b, clients, batchBenchPerClient, benchConfig(mode.disable))
+			}
+			b.ReportMetric(run.throughput(), "req_per_vs")
 		})
 	}
 }

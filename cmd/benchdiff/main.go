@@ -1,0 +1,255 @@
+// Command benchdiff gates benchmark regressions in CI.
+//
+// It parses `go test -bench` output (typically run with -count=5), reduces
+// each benchmark's series to per-metric medians, and either records them as
+// a baseline or compares them against a committed one:
+//
+//	go test -run '^$' -bench . -count=5 | tee bench.txt
+//	benchdiff -update BENCH_BASELINE.json bench.txt   # refresh the baseline
+//	benchdiff -baseline BENCH_BASELINE.json bench.txt # gate: exit 1 on regression
+//
+// Comparison is throughput-oriented: each metric's current/baseline ratio
+// is normalized so >1 means faster (higher-is-better metrics such as the
+// benchmarks' virtual req/s series count up; lower-is-better ones such as
+// ns/op count down), and the gate fails when the geometric mean across all
+// matched metrics regresses by more than -threshold (default 15%).
+// Wall-clock metrics wobble with CI load; the virtual-time throughput
+// metrics the LAKE benchmarks report are deterministic, which is what makes
+// a tight gate workable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark reference: per-benchmark, per-metric
+// medians.
+type Baseline struct {
+	// Note documents how the file was produced.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps "BenchmarkName/sub" -> metric -> median value.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// parseBench extracts metric samples from `go test -bench` output. Each
+// result line has the shape
+//
+//	BenchmarkName-8   3   123456 ns/op   456.7 custom_metric   1.2 other
+//
+// and repeats per -count run; samples accumulate per benchmark per metric.
+func parseBench(r io.Reader) (map[string]map[string][]float64, error) {
+	out := make(map[string]map[string][]float64)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so baselines survive machine changes.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad value %q on line %q", fields[i], line)
+			}
+			if out[name] == nil {
+				out[name] = make(map[string][]float64)
+			}
+			unit := fields[i+1]
+			out[name][unit] = append(out[name][unit], v)
+		}
+	}
+	return out, nil
+}
+
+// median reduces one metric's -count samples.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// medians collapses parsed samples to the baseline shape.
+func medians(samples map[string]map[string][]float64) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(samples))
+	for name, metrics := range samples {
+		out[name] = make(map[string]float64, len(metrics))
+		for unit, xs := range metrics {
+			out[name][unit] = median(xs)
+		}
+	}
+	return out
+}
+
+// higherIsBetter classifies a metric unit's direction. Throughput-style
+// units count up; times and latencies count down.
+func higherIsBetter(unit string) bool {
+	switch {
+	case strings.Contains(unit, "req_per"), strings.HasSuffix(unit, "_per_s"),
+		unit == "speedup", strings.Contains(unit, "/s"):
+		return true
+	default:
+		// ns/op, B/op, allocs/op, *_us, *_ns, ...
+		return false
+	}
+}
+
+// delta is one compared metric.
+type delta struct {
+	bench, unit string
+	base, cur   float64
+	// speed is the normalized throughput ratio: >1 is faster than baseline.
+	speed float64
+}
+
+// compare matches current medians against the baseline and returns the
+// per-metric deltas plus their geometric-mean speed ratio. Benchmarks or
+// metrics present on only one side are skipped (and reported by the
+// caller): a gate must not fail just because a benchmark was added.
+func compare(base, cur map[string]map[string]float64) (deltas []delta, geomean float64) {
+	logSum, n := 0.0, 0
+	for name, bm := range base {
+		cm, ok := cur[name]
+		if !ok {
+			continue
+		}
+		for unit, bv := range bm {
+			cv, ok := cm[unit]
+			if !ok || bv <= 0 || cv <= 0 {
+				continue
+			}
+			speed := cv / bv
+			if !higherIsBetter(unit) {
+				speed = bv / cv
+			}
+			deltas = append(deltas, delta{bench: name, unit: unit, base: bv, cur: cv, speed: speed})
+			logSum += math.Log(speed)
+			n++
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].bench != deltas[j].bench {
+			return deltas[i].bench < deltas[j].bench
+		}
+		return deltas[i].unit < deltas[j].unit
+	})
+	if n == 0 {
+		return deltas, 0
+	}
+	return deltas, math.Exp(logSum / float64(n))
+}
+
+// run is the testable entry point; returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "", "baseline JSON to compare against")
+	updatePath := fs.String("update", "", "write medians from the bench output to this baseline JSON and exit")
+	threshold := fs.Float64("threshold", 0.15, "maximum tolerated geomean throughput regression (0.15 = 15%)")
+	note := fs.String("note", "", "provenance note stored with -update")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*baselinePath == "") == (*updatePath == "") {
+		fmt.Fprintln(stderr, "benchdiff: exactly one of -baseline or -update is required")
+		return 2
+	}
+	var in io.Reader = os.Stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark results in input")
+		return 2
+	}
+	cur := medians(samples)
+
+	if *updatePath != "" {
+		b := Baseline{Note: *note, Benchmarks: cur}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		if err := os.WriteFile(*updatePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchdiff: wrote %d benchmarks to %s\n", len(cur), *updatePath)
+		return 0
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	deltas, geomean := compare(base.Benchmarks, cur)
+	if len(deltas) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: baseline and bench output share no metrics")
+		return 2
+	}
+	w := func(format string, a ...interface{}) { fmt.Fprintf(stdout, format, a...) }
+	w("%-52s %-22s %14s %14s %8s\n", "benchmark", "metric", "baseline", "current", "speed")
+	for _, d := range deltas {
+		w("%-52s %-22s %14.4g %14.4g %7.3fx\n", d.bench, d.unit, d.base, d.cur, d.speed)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := cur[name]; !ok {
+			w("note: baseline benchmark %s missing from current run\n", name)
+		}
+	}
+	w("geomean speed ratio %.4fx over %d metrics (gate: >= %.4fx)\n",
+		geomean, len(deltas), 1-*threshold)
+	if geomean < 1-*threshold {
+		fmt.Fprintf(stderr, "benchdiff: FAIL: geomean throughput regressed %.1f%% (> %.0f%% tolerated)\n",
+			(1-geomean)*100, *threshold*100)
+		return 1
+	}
+	w("benchdiff: OK\n")
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

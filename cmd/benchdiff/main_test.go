@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchOutput fabricates `go test -bench -count=3` output for one
+// benchmark with a wall ns/op series and a virtual throughput metric.
+func benchOutput(nsPerOp, reqPerS float64) string {
+	var b strings.Builder
+	for i := 0; i < 3; i++ {
+		// Vary the wall series like -count runs do; medians collapse it.
+		jitter := float64(i-1) * 0.02 * nsPerOp
+		b.WriteString("BenchmarkBatchedInference/clients=32-8   5   ")
+		b.WriteString(formatF(nsPerOp+jitter) + " ns/op   " + formatF(reqPerS) + " batched_req_per_s\n")
+	}
+	b.WriteString("PASS\nok  \tlakego\t1.234s\n")
+	return b.String()
+}
+
+func formatF(v float64) string {
+	data, _ := json.Marshal(v)
+	return string(data)
+}
+
+func TestParseBenchMedians(t *testing.T) {
+	samples, err := parseBench(strings.NewReader(
+		"goos: linux\n" +
+			"BenchmarkPerfNNForward-16   100   50 ns/op\n" +
+			"BenchmarkPerfNNForward-16   100   70 ns/op\n" +
+			"BenchmarkPerfNNForward-16   100   60 ns/op\n" +
+			"BenchmarkBatchedInference/clients=8-16  2  1000 ns/op  250.5 batched_req_per_s  3.2 speedup\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := medians(samples)
+	if got := m["BenchmarkPerfNNForward"]["ns/op"]; got != 60 {
+		t.Fatalf("median ns/op = %v, want 60 (GOMAXPROCS suffix must be stripped)", got)
+	}
+	sub := m["BenchmarkBatchedInference/clients=8"]
+	if sub["batched_req_per_s"] != 250.5 || sub["speedup"] != 3.2 {
+		t.Fatalf("custom metrics not parsed: %+v", sub)
+	}
+}
+
+func TestUpdateThenCompareClean(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	bench := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(bench, []byte(benchOutput(1e6, 40000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-update", baseline, "-note", "test", bench}, &out, &errb); code != 0 {
+		t.Fatalf("update exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, bench}, &out, &errb); code != 0 {
+		t.Fatalf("identical run failed the gate (exit %d): %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "benchdiff: OK") {
+		t.Fatalf("missing OK line:\n%s", out.String())
+	}
+}
+
+// TestGateFailsOnSyntheticSlowdown is the CI acceptance scenario: a 20%
+// throughput regression (slower wall time AND lower virtual throughput)
+// must trip the 15% geomean gate.
+func TestGateFailsOnSyntheticSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	good := filepath.Join(dir, "good.txt")
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(good, []byte(benchOutput(1e6, 40000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 20% slowdown: ns/op up 25% (= 0.8x speed), req/s down 20%.
+	if err := os.WriteFile(bad, []byte(benchOutput(1.25e6, 32000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-update", baseline, good}, &out, &errb); code != 0 {
+		t.Fatalf("update exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	code := run([]string{"-baseline", baseline, bad}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("20%% slowdown: exit %d, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "FAIL") {
+		t.Fatalf("no FAIL diagnostic:\n%s", errb.String())
+	}
+	// A regression within tolerance must pass: 10% wall slowdown only.
+	within := filepath.Join(dir, "within.txt")
+	if err := os.WriteFile(within, []byte(benchOutput(1.1e6, 38000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, within}, &out, &errb); code != 0 {
+		t.Fatalf("within-tolerance run tripped the gate (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := map[string]map[string]float64{
+		"B/x": {"ns/op": 100, "req_per_vs": 1000},
+	}
+	cur := map[string]map[string]float64{
+		"B/x": {"ns/op": 50, "req_per_vs": 2000}, // both twice as fast
+		"B/y": {"ns/op": 1},                      // new benchmark: ignored
+	}
+	deltas, geomean := compare(base, cur)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.speed != 2 {
+			t.Fatalf("%s %s speed %v, want 2", d.bench, d.unit, d.speed)
+		}
+	}
+	if geomean != 2 {
+		t.Fatalf("geomean %v, want 2", geomean)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no mode: exit %d, want 2", code)
+	}
+	if code := run([]string{"-baseline", "a", "-update", "b"}, &out, &errb); code != 2 {
+		t.Fatalf("both modes: exit %d, want 2", code)
+	}
+}

@@ -6,6 +6,8 @@
 //	lakebench -list            enumerate experiments
 //	lakebench -exp fig7        run one experiment
 //	lakebench -exp all         run everything (several minutes)
+//	lakebench -metrics         run an instrumented workload and dump its
+//	                           telemetry (Prometheus text + span timeline)
 //
 // Output is printed as the same rows/series the paper reports; see
 // EXPERIMENTS.md for paper-vs-measured commentary.
@@ -14,15 +16,87 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
+	lake "lakego"
+	"lakego/internal/cuda"
 	"lakego/internal/experiments"
 )
+
+// runMetricsDemo boots an instrumented runtime with tracing armed, pushes a
+// short remoted workload through it, and prints the resulting Prometheus
+// exposition followed by the traced span timeline — the CLI face of the
+// observability plane.
+func runMetricsDemo() error {
+	cfg := lake.DefaultConfig()
+	cfg.TraceCalls = true
+	rt, err := lake.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	rt.RegisterKernel(lake.VecAddKernel())
+	lib := rt.Lib()
+	ctx, r := lib.CuCtxCreate("lakebench-metrics")
+	if r != lake.Success {
+		return r.Err()
+	}
+	mod, _ := lib.CuModuleLoad("kernels.cubin")
+	fn, r := lib.CuModuleGetFunction(mod, "vecadd")
+	if r != lake.Success {
+		return r.Err()
+	}
+	const n = 128
+	size := int64(4 * n)
+	in, err := rt.Region().Alloc(size)
+	if err != nil {
+		return err
+	}
+	out, err := rt.Region().Alloc(size)
+	if err != nil {
+		return err
+	}
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	if err := cuda.PutFloat32s(in.Bytes(), vals); err != nil {
+		return err
+	}
+	da, _ := lib.CuMemAlloc(size)
+	dc, _ := lib.CuMemAlloc(size)
+	for i := 0; i < 32; i++ {
+		if r := lib.CuMemcpyHtoDShm(da, in, size); r != lake.Success {
+			return r.Err()
+		}
+		if r := lib.CuLaunchKernel(ctx, fn, []uint64{uint64(da), uint64(da), uint64(dc), uint64(n)}); r != lake.Success {
+			return r.Err()
+		}
+		if r := lib.CuMemcpyDtoHShm(out, dc, size); r != lake.Success {
+			return r.Err()
+		}
+	}
+	if _, _, r := lib.NvmlGetUtilization(); r != lake.Success {
+		return r.Err()
+	}
+
+	tel := rt.Telemetry()
+	fmt.Print(tel.PrometheusText())
+	fmt.Println("--- span timeline (last traced calls) ---")
+	b, err := tel.Tracer().TimelineJSON()
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	exp := flag.String("exp", "", "experiment id to run, or 'all'")
 	out := flag.String("out", "", "also write the output to this file")
+	metrics := flag.Bool("metrics", false, "run an instrumented demo workload and dump telemetry")
 	flag.Parse()
 
 	if *list {
@@ -32,8 +106,14 @@ func main() {
 		}
 		return
 	}
+	if *metrics {
+		if err := runMetricsDemo(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: lakebench -exp <id>|all  (or -list)")
+		fmt.Fprintln(os.Stderr, "usage: lakebench -exp <id>|all  (or -list, -metrics)")
 		os.Exit(2)
 	}
 	var output string

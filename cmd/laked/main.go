@@ -4,12 +4,22 @@
 // client, and prints the daemon-side statistics — the single-machine
 // analogue of running the artifact's user-space daemon next to the kernel
 // module.
+//
+// With -telemetry-addr the daemon also serves its observability plane over
+// HTTP: /metrics (Prometheus text), /metrics.json (structured snapshot),
+// /spans.json (per-call trace timelines, populated when -trace is set) and
+// /debug/pprof. With -serve it stays up after the demo burst so the
+// endpoints can be scraped.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
 
 	lake "lakego"
 	"lakego/internal/boundary"
@@ -17,10 +27,52 @@ import (
 	"lakego/internal/shm"
 )
 
+// serveTelemetry mounts the runtime's observability endpoints on the
+// default mux (which already carries /debug/pprof from the blank import)
+// and serves them in the background.
+func serveTelemetry(rt *lake.Runtime, addr string) {
+	tel := rt.Telemetry()
+	if tel == nil {
+		log.Fatal("-telemetry-addr requires telemetry (do not set -no-telemetry)")
+	}
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = tel.WritePrometheus(w)
+	})
+	http.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := tel.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	http.HandleFunc("/spans.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := tel.Tracer().TimelineJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Fatalf("telemetry endpoint: %v", err)
+		}
+	}()
+	log.Printf("telemetry on http://%s/metrics (.json, /spans.json, /debug/pprof)", addr)
+}
+
 func main() {
 	calls := flag.Int("calls", 1000, "number of remoted vector-add rounds to serve")
 	n := flag.Int("n", 256, "vector length per round")
 	channel := flag.String("channel", "netlink", "command channel: netlink, signal, devrw, mmap")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /metrics.json, /spans.json and /debug/pprof on this address (e.g. :9090)")
+	noTelemetry := flag.Bool("no-telemetry", false, "boot the runtime without the observability plane")
+	traceCalls := flag.Bool("trace", false, "record per-call span timelines (see /spans.json)")
+	serve := flag.Bool("serve", false, "after the demo burst, keep serving the telemetry endpoints until interrupted")
 	flag.Parse()
 
 	cfg := lake.DefaultConfig()
@@ -36,11 +88,16 @@ func main() {
 	default:
 		log.Fatalf("unknown channel %q", *channel)
 	}
+	cfg.DisableTelemetry = *noTelemetry
+	cfg.TraceCalls = *traceCalls
 	rt, err := lake.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Close()
+	if *telemetryAddr != "" {
+		serveTelemetry(rt, *telemetryAddr)
+	}
 	rt.RegisterKernel(lake.VecAddKernel())
 
 	// A custom high-level API, the §4.4 extension point.
@@ -108,4 +165,11 @@ func main() {
 	fmt.Printf("  shm in use           %d bytes\n", st.ShmUsed)
 	fmt.Printf("  modeled channel time %v\n", st.ChannelTime)
 	fmt.Printf("  virtual time elapsed %v\n", st.VirtualTime)
+
+	if *serve && *telemetryAddr != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		fmt.Println("serving telemetry; ctrl-c to exit")
+		<-sig
+	}
 }

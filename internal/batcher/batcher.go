@@ -40,6 +40,7 @@ import (
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/shm"
+	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
 
@@ -170,6 +171,34 @@ type Batcher struct {
 	fullFlushes, deadlineFlushes    atomic.Int64
 	fallbackFlushes                 atomic.Int64
 	maxDelay                        atomic.Int64
+
+	tel Telemetry
+}
+
+// Telemetry is the batcher's instrument set; all fields may be nil.
+type Telemetry struct {
+	// QueueDepth tracks currently queued items across all models.
+	QueueDepth *telemetry.Gauge
+	// FlushItems observes the size (items) of each formed batch.
+	FlushItems *telemetry.Histogram
+	// Rejects counts backpressured submissions.
+	Rejects *telemetry.Counter
+	// QueueDelay observes each request's enqueue-to-flush virtual wait.
+	QueueDelay *telemetry.Histogram
+	// GPUItemLatency / CPUItemLatency observe per-item execution latency
+	// of each flush on its decided path. They are the shared series
+	// (telemetry.MetricGPUItemLatency / MetricCPUItemLatency) the Fig 3
+	// policy's observed-latency mode reads.
+	GPUItemLatency *telemetry.Histogram
+	CPUItemLatency *telemetry.Histogram
+	// Tracer opens a flush span (coalesce stage) around each execution.
+	Tracer *telemetry.Tracer
+}
+
+// SetTelemetry attaches instruments. Must be called during runtime
+// construction, before any traffic.
+func (b *Batcher) SetTelemetry(tel Telemetry) {
+	b.tel = tel
 }
 
 // New creates a batcher on rt. Register models with RegisterModel, then
@@ -388,12 +417,14 @@ func (c *Client) Submit(modelName string, items [][]float32) (*Pending, error) {
 	if c.outstanding.Add(1) > int64(b.cfg.ClientDepth) {
 		c.outstanding.Add(-1)
 		b.rejected.Add(1)
+		b.tel.Rejects.Inc()
 		return nil, ErrBackpressure
 	}
 	p, err := c.stage(m, items)
 	if err != nil {
 		c.outstanding.Add(-1)
 		b.rejected.Add(1)
+		b.tel.Rejects.Inc()
 		return nil, err
 	}
 	b.requests.Add(1)
@@ -405,6 +436,7 @@ func (c *Client) Submit(modelName string, items [][]float32) (*Pending, error) {
 	p.enq = b.rt.Clock().Now()
 	m.queue = append(m.queue, p)
 	m.queuedItems += p.count
+	b.tel.QueueDepth.Add(int64(p.count))
 
 	var batch []*Pending
 	reason := flushFull
@@ -491,6 +523,7 @@ func (m *model) takeLocked() []*Pending {
 	copy(batch, m.queue[:n])
 	m.queue = append(m.queue[:0], m.queue[n:]...)
 	m.queuedItems -= items
+	m.b.tel.QueueDepth.Add(-int64(items))
 	for _, p := range batch {
 		p.taken = true
 	}

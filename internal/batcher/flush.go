@@ -6,6 +6,7 @@ import (
 	"lakego/internal/cuda"
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
+	"lakego/internal/telemetry"
 )
 
 // flushReason tags why a batch was formed.
@@ -118,6 +119,18 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 				break
 			}
 		}
+		b.tel.QueueDelay.Observe(d)
+	}
+	b.tel.FlushItems.Observe(int64(items))
+	var flushSpan *telemetry.Span
+	var ownSpan bool
+	if b.tel.Tracer.Enabled() {
+		// The flush span opens at the oldest request's enqueue: the
+		// coalesce stage is the window spent forming the batch, and the
+		// nested CuBatchedInfer call below attaches its marshal / channel /
+		// dispatch / launch / demux stages to this same span.
+		flushSpan, ownSpan = b.tel.Tracer.StartSpan("flush/"+m.mc.Name, batch[0].seq, batch[0].enq)
+		flushSpan.AddStage("coalesce", batch[0].enq, flushAt, 0)
 	}
 	b.flushes.Add(1)
 	if reason == flushFull {
@@ -135,8 +148,10 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 	}
 	var flushErr error
 	var perRes map[uint64]cuda.Result
+	ranOnGPU := false
 	if dec == policy.UseGPU {
 		b.gpuFlushes.Add(1)
+		ranOnGPU = true
 		entries := make([]remoting.BatchEntry, len(batch))
 		for i, p := range batch {
 			entries[i] = remoting.BatchEntry{
@@ -155,6 +170,7 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 			// kernel must still answer its clients, so the formed batch
 			// completes on the CPU fallback at its calibrated cost.
 			b.fallbackFlushes.Add(1)
+			ranOnGPU = false
 			flushErr = m.runCPU(batch)
 			clock.Advance(m.mc.CPUFixed + time.Duration(items)*m.mc.CPUPerItem)
 		default:
@@ -167,6 +183,19 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 	}
 
 	now := clock.Now()
+	if ownSpan {
+		b.tel.Tracer.FinishSpan(flushSpan, now)
+	}
+	if flushErr == nil && items > 0 {
+		// Per-item execution latency on the path that actually ran — the
+		// observed signal the Fig 3 policy can use in place of the model.
+		perItem := (now - flushAt) / time.Duration(items)
+		if ranOnGPU {
+			b.tel.GPUItemLatency.ObserveDuration(perItem)
+		} else {
+			b.tel.CPUItemLatency.ObserveDuration(perItem)
+		}
+	}
 	region := b.rt.Region()
 	for _, p := range batch {
 		err := flushErr

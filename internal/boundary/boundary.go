@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"lakego/internal/faults"
+	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
 
@@ -127,6 +128,28 @@ type Transport struct {
 	fault  *faults.Plane
 
 	sent, received int64
+
+	tel TransportTelemetry
+}
+
+// TransportTelemetry is the transport's instrument set. All fields may be
+// nil (telemetry disabled); instruments are nil-safe.
+type TransportTelemetry struct {
+	// Sent counts kernel->user frames accepted into the channel.
+	Sent *telemetry.Counter
+	// Received counts user->kernel frames delivered to the kernel side.
+	Received *telemetry.Counter
+	// QueueFull counts sends rejected by a full channel queue.
+	QueueFull *telemetry.Counter
+	// RoundTrip observes the modeled per-command round-trip cost (virtual
+	// nanoseconds) charged via ChargeRoundTrip.
+	RoundTrip *telemetry.Histogram
+}
+
+// SetTelemetry attaches instruments. It must be called during runtime
+// construction, before any traffic: the hot paths read the set unlocked.
+func (t *Transport) SetTelemetry(tel TransportTelemetry) {
+	t.tel = tel
 }
 
 // NewTransport creates a transport over channel kind k with the given queue
@@ -182,6 +205,7 @@ func (t *Transport) deliver(ch chan []byte, cp []byte) error {
 			if i > 0 {
 				return nil // duplicate shed by a full queue: not an error
 			}
+			t.tel.QueueFull.Inc()
 			return fmt.Errorf("boundary: %s queue full", t.kind)
 		}
 	}
@@ -221,6 +245,7 @@ func (t *Transport) SendToUser(msg []byte) error {
 	t.mu.Lock()
 	t.sent++
 	t.mu.Unlock()
+	t.tel.Sent.Inc()
 	return nil
 }
 
@@ -253,6 +278,7 @@ func (t *Transport) RecvInKernel() (msg []byte, ok bool) {
 		t.mu.Lock()
 		t.received++
 		t.mu.Unlock()
+		t.tel.Received.Inc()
 		return m, true
 	default:
 		return nil, false
@@ -265,6 +291,7 @@ func (t *Transport) RecvInKernel() (msg []byte, ok bool) {
 func (t *Transport) ChargeRoundTrip(size int) time.Duration {
 	d := MessageRoundTrip(t.kind, size)
 	t.clock.Advance(d)
+	t.tel.RoundTrip.ObserveDuration(d)
 	return d
 }
 

@@ -24,6 +24,7 @@ import (
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/shm"
+	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
 
@@ -51,6 +52,15 @@ type Config struct {
 	// Supervision parameterizes the lakeD supervisor (zero value =
 	// defaults). Only consulted when Faults or Resilience is set.
 	Supervision SupervisorConfig
+	// DisableTelemetry boots the runtime without the observability plane:
+	// Telemetry() returns nil and every instrument call across the stack
+	// is a no-op on a nil receiver. The zero value keeps telemetry on —
+	// its hot-path cost is a handful of atomic adds (see DESIGN.md).
+	DisableTelemetry bool
+	// TraceCalls arms span tracing at boot (equivalent to calling
+	// Telemetry().Tracer().SetEnabled(true)): each remoted call records a
+	// marshal / channel / dispatch / launch / demux stage timeline.
+	TraceCalls bool
 }
 
 // DefaultConfig mirrors the paper's deployment: Netlink command channel,
@@ -76,6 +86,7 @@ type Runtime struct {
 	store     *features.Store
 	plane     *faults.Plane
 	sup       *Supervisor
+	tel       *telemetry.Registry
 }
 
 // New boots a runtime: creates the device, maps the shared region into both
@@ -110,6 +121,13 @@ func New(cfg Config) (*Runtime, error) {
 		lib:       lib,
 		store:     features.NewStore(),
 	}
+	if !cfg.DisableTelemetry {
+		rt.tel = telemetry.NewRegistry()
+		rt.wireTelemetry(cfg)
+		if cfg.TraceCalls {
+			rt.tel.Tracer().SetEnabled(true)
+		}
+	}
 	if cfg.Faults != nil {
 		rt.plane = faults.NewPlane(*cfg.Faults, clock)
 		tr.InjectFaults(rt.plane)
@@ -117,6 +135,13 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.Faults != nil || cfg.Resilience != nil {
 		rt.sup = NewSupervisor(clock, daemon, lib, cfg.Supervision)
+		if rt.tel != nil {
+			rt.sup.SetTelemetry(SupervisorTelemetry{
+				TransitionsTotal: rt.tel.Counter("lake_supervisor_transitions_total", "Supervisor state transitions recorded."),
+				Restarts:         rt.tel.Counter("lake_supervisor_restarts_total", "lakeD relaunches driven by the supervisor."),
+				State:            rt.tel.Gauge("lake_supervisor_state", "Current lakeD state (0=Healthy 1=Suspected 2=Dead 3=Restarting 4=ReAttached)."),
+			})
+		}
 		res := remoting.DefaultResilience()
 		if cfg.Resilience != nil {
 			res = *cfg.Resilience
@@ -131,6 +156,52 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	return rt, nil
 }
+
+// wireTelemetry attaches registry-backed instruments to every layer of the
+// freshly built runtime. Called once from New, before any traffic, so each
+// SetTelemetry is a plain construction-time assignment.
+func (r *Runtime) wireTelemetry(cfg Config) {
+	tel := r.tel
+	ch := `{channel="` + cfg.Channel.String() + `"}`
+	r.transport.SetTelemetry(boundary.TransportTelemetry{
+		Sent:      tel.Counter("lake_boundary_sent_total"+ch, "Kernel->user frames accepted into the command channel."),
+		Received:  tel.Counter("lake_boundary_received_total"+ch, "User->kernel frames delivered to the kernel side."),
+		QueueFull: tel.Counter("lake_boundary_queue_full_total"+ch, "Sends rejected by a full channel queue."),
+		RoundTrip: tel.Histogram("lake_boundary_roundtrip_ns"+ch, "Modeled per-command round-trip cost (virtual ns).", telemetry.DefaultLatencyBuckets()),
+	})
+	r.device.SetTelemetry(gpu.Telemetry{
+		Launches:   tel.Counter("lake_gpu_launches_total", "Kernels executed on the device model."),
+		ExecTime:   tel.Histogram("lake_gpu_exec_ns", "Per-operation modeled execution cost (virtual ns), excluding queueing.", telemetry.DefaultLatencyBuckets()),
+		QueueDelay: tel.Histogram("lake_gpu_queue_delay_ns", "Per-operation contention delay (virtual ns) waiting for the device.", telemetry.DefaultLatencyBuckets()),
+		CopyTime:   tel.Histogram("lake_gpu_copy_ns", "Host<->device DMA durations (virtual ns) — copy-engine occupancy.", telemetry.DefaultLatencyBuckets()),
+		CopyBytes:  tel.Counter("lake_gpu_copy_bytes_total", "Bytes moved across the modeled PCIe link."),
+	})
+	r.lib.SetTelemetry(remoting.LibTelemetry{
+		Calls:            tel.Counter("lake_lib_calls_total", "Completed remoted invocations."),
+		CallLatency:      tel.Histogram("lake_lib_call_latency_ns", "End-to-end remoted call latency (virtual ns), including backoff.", telemetry.DefaultLatencyBuckets()),
+		Retries:          tel.Counter("lake_lib_retries_total", "Resilient-exchange retry attempts."),
+		CorruptResponses: tel.Counter("lake_lib_corrupt_responses_total", "Responses dropped for CRC/decode failure."),
+		StaleResponses:   tel.Counter("lake_lib_stale_responses_total", "Responses discarded for a stale sequence number."),
+		Recoveries:       tel.Counter("lake_lib_recoveries_total", "Calls that succeeded after at least one retry."),
+		DeadlineExceeded: tel.Counter("lake_lib_deadline_exceeded_total", "Calls abandoned at the retry deadline."),
+		DaemonDead:       tel.Counter("lake_lib_daemon_dead_total", "Calls refused because lakeD was declared dead."),
+		Tracer:           tel.Tracer(),
+	})
+	r.daemon.SetTelemetry(remoting.DaemonTelemetry{
+		Handled:       tel.Counter("lake_daemon_handled_total", "Responses lakeD put on the channel."),
+		Executed:      tel.Counter("lake_daemon_executed_total", "Commands whose handler actually ran."),
+		Redelivered:   tel.Counter("lake_daemon_redelivered_total", "Commands answered from the exactly-once journal."),
+		CorruptFrames: tel.Counter("lake_daemon_corrupt_frames_total", "Undecodable command frames lakeD dropped."),
+		GPUUtil:       tel.Gauge("lake_nvml_gpu_util", "Last NVML GPU utilization sample served (percent)."),
+		MemUtil:       tel.Gauge("lake_nvml_mem_util", "Last NVML memory utilization sample served (percent)."),
+		Tracer:        tel.Tracer(),
+	})
+}
+
+// Telemetry returns the runtime's metrics/tracing registry, or nil when the
+// runtime was booted with Config.DisableTelemetry (nil is safe: every
+// instrument it would hand out degrades to a no-op).
+func (r *Runtime) Telemetry() *telemetry.Registry { return r.tel }
 
 // Clock returns the runtime's virtual clock.
 func (r *Runtime) Clock() *vtime.Clock { return r.clock }
@@ -166,13 +237,23 @@ func (r *Runtime) RegisterKernel(k *cuda.Kernel) { r.api.RegisterKernel(k) }
 // NewAdaptivePolicy builds a Fig 3 policy whose utilization source is the
 // LAKE-remoted NVML query, exactly as the paper's pseudocode does.
 func (r *Runtime) NewAdaptivePolicy(cfg policy.AdaptiveConfig) *policy.Adaptive {
-	return policy.NewAdaptive(cfg, r.clock, func() int {
+	p := policy.NewAdaptive(cfg, r.clock, func() int {
 		g, _, res := r.lib.NvmlGetUtilization()
 		if res != cuda.Success {
 			return 100 // treat a failed query as contended: stay on CPU
 		}
 		return g
 	})
+	if cfg.UseObservedLatency && r.tel != nil {
+		// Feed the policy the shared per-item latency series the batcher
+		// (and offload runner) populate, closing the Fig 3 loop on
+		// measured signal instead of the static batch threshold.
+		p.SetLatencySources(
+			r.tel.Histogram(telemetry.MetricGPUItemLatency, "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			r.tel.Histogram(telemetry.MetricCPUItemLatency, "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
+		)
+	}
+	return p
 }
 
 // NewBatcher creates the lakeD cross-client inference batching subsystem
@@ -181,7 +262,19 @@ func (r *Runtime) NewAdaptivePolicy(cfg policy.AdaptiveConfig) *policy.Adaptive 
 // fallback, per the configured policy). Register models with
 // Batcher.RegisterModel and hand out Batcher.Client handles.
 func (r *Runtime) NewBatcher(cfg batcher.Config) *batcher.Batcher {
-	return batcher.New(r, cfg)
+	b := batcher.New(r, cfg)
+	if r.tel != nil {
+		b.SetTelemetry(batcher.Telemetry{
+			QueueDepth:     r.tel.Gauge("lake_batcher_queue_depth", "Inference items currently queued across all models."),
+			FlushItems:     r.tel.Histogram("lake_batcher_flush_items", "Items per formed batch.", telemetry.CountBuckets()),
+			Rejects:        r.tel.Counter("lake_batcher_rejects_total", "Submissions rejected by backpressure."),
+			QueueDelay:     r.tel.Histogram("lake_batcher_queue_delay_ns", "Per-request enqueue-to-flush wait (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			GPUItemLatency: r.tel.Histogram(telemetry.MetricGPUItemLatency, "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			CPUItemLatency: r.tel.Histogram(telemetry.MetricCPUItemLatency, "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			Tracer:         r.tel.Tracer(),
+		})
+	}
+	return b
 }
 
 // InstallVMPolicy verifies a bytecode policy against the Fig 3 helper set

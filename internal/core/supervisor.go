@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lakego/internal/remoting"
+	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
 
@@ -99,6 +100,26 @@ type Supervisor struct {
 	lastBeat    time.Duration
 	beatValid   bool
 	transitions []Transition
+
+	tel SupervisorTelemetry
+}
+
+// SupervisorTelemetry is the supervisor's instrument set; all fields may
+// be nil.
+type SupervisorTelemetry struct {
+	// TransitionsTotal counts recorded state changes.
+	TransitionsTotal *telemetry.Counter
+	// Restarts counts daemon relaunches.
+	Restarts *telemetry.Counter
+	// State holds the current DaemonState ordinal.
+	State *telemetry.Gauge
+}
+
+// SetTelemetry attaches instruments. Must be called during runtime
+// construction, before supervision traffic.
+func (s *Supervisor) SetTelemetry(tel SupervisorTelemetry) {
+	s.tel = tel
+	s.tel.State.Set(int64(StateHealthy))
 }
 
 // NewSupervisor creates a supervisor for the runtime's daemon and lib.
@@ -144,6 +165,8 @@ func (s *Supervisor) setStateLocked(to DaemonState, cause string) {
 	s.transitions = append(s.transitions, Transition{
 		From: s.state, To: to, At: s.clock.Now(), Cause: cause,
 	})
+	s.tel.TransitionsTotal.Inc()
+	s.tel.State.Set(int64(to))
 	s.state = to
 }
 
@@ -173,6 +196,7 @@ func (s *Supervisor) DaemonUnresponsive(api remoting.APIID, seq uint64, err erro
 	}
 	s.setStateLocked(StateRestarting, "relaunching lakeD")
 	s.restarts++
+	s.tel.Restarts.Inc()
 	s.mu.Unlock()
 
 	// Pay the fork/exec + re-attach cost, then bring the process back with
@@ -236,6 +260,7 @@ func (s *Supervisor) Check() DaemonState {
 	s.setStateLocked(StateDead, "heartbeat missed and process down")
 	s.setStateLocked(StateRestarting, "relaunching lakeD")
 	s.restarts++
+	s.tel.Restarts.Inc()
 	s.mu.Unlock()
 
 	s.clock.Advance(s.cfg.RestartCost)

@@ -191,7 +191,9 @@ func (a *API) MemcpyHtoD(dst gpu.DevPtr, src []byte) Result {
 	if len(src) > len(buf) {
 		return ErrInvalidValue
 	}
-	a.dev.Clock().Advance(a.dev.TransferTime(int64(len(src))))
+	d := a.dev.TransferTime(int64(len(src)))
+	a.dev.Clock().Advance(d)
+	a.dev.ObserveCopy(int64(len(src)), d)
 	copy(buf, src)
 	return Success
 }
@@ -205,7 +207,9 @@ func (a *API) MemcpyDtoH(dst []byte, src gpu.DevPtr) Result {
 	if len(dst) > len(buf) {
 		return ErrInvalidValue
 	}
-	a.dev.Clock().Advance(a.dev.TransferTime(int64(len(dst))))
+	d := a.dev.TransferTime(int64(len(dst)))
+	a.dev.Clock().Advance(d)
+	a.dev.ObserveCopy(int64(len(dst)), d)
 	copy(dst, buf[:len(dst)])
 	return Success
 }
@@ -296,5 +300,6 @@ func (a *API) CtxSynchronize(ctx uint64) Result {
 func (a *API) ChargeTransfer(n int64) time.Duration {
 	d := a.dev.TransferTime(n)
 	a.dev.Clock().Advance(d)
+	a.dev.ObserveCopy(n, d)
 	return d
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
 
@@ -89,6 +90,38 @@ type Device struct {
 	busyUntil time.Duration
 	spans     []busySpan // recent busy intervals, pruned lazily
 	launches  int64
+
+	tel Telemetry
+}
+
+// Telemetry is the device's instrument set; all fields may be nil.
+type Telemetry struct {
+	// Launches counts executed kernels.
+	Launches *telemetry.Counter
+	// ExecTime observes each operation's modeled cost (virtual ns),
+	// excluding queueing delay.
+	ExecTime *telemetry.Histogram
+	// QueueDelay observes per-operation contention delay (virtual ns)
+	// spent waiting for the device to go idle.
+	QueueDelay *telemetry.Histogram
+	// CopyTime observes each host<->device DMA's modeled duration
+	// (virtual ns) — the copy-engine occupancy signal.
+	CopyTime *telemetry.Histogram
+	// CopyBytes counts total bytes moved across PCIe.
+	CopyBytes *telemetry.Counter
+}
+
+// SetTelemetry attaches instruments. Must be called during runtime
+// construction, before any traffic.
+func (d *Device) SetTelemetry(tel Telemetry) {
+	d.tel = tel
+}
+
+// ObserveCopy records one host<->device DMA of n bytes taking d (virtual
+// time). The CUDA API layer calls it when charging transfers.
+func (d *Device) ObserveCopy(n int64, took time.Duration) {
+	d.tel.CopyTime.ObserveDuration(took)
+	d.tel.CopyBytes.Add(n)
 }
 
 // New creates a device with the given spec on the shared clock.
@@ -200,6 +233,10 @@ func (d *Device) Execute(client string, cost time.Duration, fn func()) time.Dura
 	d.spans = append(d.spans, busySpan{client: client, start: start, end: end})
 	d.pruneLocked(end)
 	d.mu.Unlock()
+
+	d.tel.Launches.Inc()
+	d.tel.ExecTime.ObserveDuration(cost)
+	d.tel.QueueDelay.ObserveDuration(start - now)
 
 	d.clock.AdvanceTo(end)
 	if fn != nil {

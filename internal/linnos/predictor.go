@@ -11,6 +11,7 @@ import (
 	"lakego/internal/nn"
 	"lakego/internal/policy"
 	"lakego/internal/shm"
+	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
 
@@ -96,6 +97,11 @@ type Predictor struct {
 	// are one per predictor, so concurrent remoted runs must not
 	// interleave.
 	stageMu sync.Mutex
+
+	// gpuLat / cpuLat are the runtime's shared per-item latency series
+	// (the histograms the Fig 3 policy's observed-latency mode reads);
+	// nil without telemetry.
+	gpuLat, cpuLat *telemetry.Histogram
 }
 
 // kernelName is the device-kernel symbol for a variant.
@@ -115,6 +121,10 @@ func NewPredictor(rt *core.Runtime, kind ModelKind, net *nn.Network) (*Predictor
 		}
 	}
 	p := &Predictor{rt: rt, kind: kind, net: net}
+	if tel := rt.Telemetry(); tel != nil {
+		p.gpuLat = tel.Histogram(telemetry.MetricGPUItemLatency, "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets())
+		p.cpuLat = tel.Histogram(telemetry.MetricCPUItemLatency, "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets())
+	}
 	rt.RegisterKernel(&cuda.Kernel{
 		Name:  kernelName(kind),
 		Flops: func(args []uint64) float64 { return float64(args[2]) * net.Flops() },
@@ -199,6 +209,9 @@ func (p *Predictor) InferCPU(batch [][]float32) ([]bool, time.Duration) {
 	}
 	cost := time.Duration(len(batch)) * p.kind.CPUInferCost()
 	p.rt.Clock().Advance(cost)
+	if len(batch) > 0 {
+		p.cpuLat.ObserveDuration(cost / time.Duration(len(batch)))
+	}
 	return slow, cost
 }
 
@@ -281,6 +294,7 @@ func (p *Predictor) InferLAKE(batch [][]float32, sync bool) ([]bool, time.Durati
 		return nil, 0, r.Err()
 	}
 	elapsed := sw.Elapsed()
+	p.gpuLat.ObserveDuration(elapsed / time.Duration(n))
 
 	logits, err := cuda.Float32s(p.outBuf.Bytes(), n*2)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"lakego/internal/gpu"
 	"lakego/internal/policy"
 	"lakego/internal/shm"
+	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
 
@@ -65,6 +66,11 @@ type Runner struct {
 	// stageMu serializes RunLAKE: the staging buffers and device slabs are
 	// one per runner, so concurrent remoted runs must not interleave.
 	stageMu sync.Mutex
+
+	// gpuLat / cpuLat are the runtime's shared per-item latency series
+	// (the same histograms the batcher feeds and the Fig 3 policy's
+	// observed-latency mode reads); nil without telemetry.
+	gpuLat, cpuLat *telemetry.Histogram
 }
 
 // NewRunner registers the device kernel and stages buffers.
@@ -73,6 +79,10 @@ func NewRunner(rt *core.Runtime, cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	r := &Runner{rt: rt, cfg: cfg}
+	if tel := rt.Telemetry(); tel != nil {
+		r.gpuLat = tel.Histogram(telemetry.MetricGPUItemLatency, "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets())
+		r.cpuLat = tel.Histogram(telemetry.MetricCPUItemLatency, "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets())
+	}
 	rt.RegisterKernel(&cuda.Kernel{
 		Name:  cfg.Name,
 		Flops: func(args []uint64) float64 { return float64(args[2]) * cfg.FlopsPerItem },
@@ -162,6 +172,9 @@ func (r *Runner) RunCPU(batch [][]float32) ([][]float32, time.Duration) {
 	}
 	cost := r.cfg.CPUFixed + time.Duration(len(batch))*r.cfg.CPUPerItem
 	r.rt.Clock().Advance(cost)
+	if len(batch) > 0 {
+		r.cpuLat.ObserveDuration(cost / time.Duration(len(batch)))
+	}
 	return out, cost
 }
 
@@ -216,6 +229,7 @@ func (r *Runner) RunLAKE(batch [][]float32, sync bool) ([][]float32, time.Durati
 		return nil, 0, res.Err()
 	}
 	elapsed := sw.Elapsed()
+	r.gpuLat.ObserveDuration(elapsed / time.Duration(n))
 
 	vals, err := cuda.Float32s(r.outBuf.Bytes(), n*r.cfg.OutputWidth)
 	if err != nil {

@@ -89,6 +89,16 @@ func (m *MovingAverage) Value() float64 {
 	return m.sum / float64(m.n)
 }
 
+// LatencySource exposes observed latency percentiles in virtual time.
+// *telemetry.Histogram satisfies it (the interface lives here so policy
+// does not import the telemetry plane it is fed by).
+type LatencySource interface {
+	// QuantileDuration estimates the q-quantile of observed latencies.
+	QuantileDuration(q float64) time.Duration
+	// Count reports how many observations back the estimate.
+	Count() int64
+}
+
 // AdaptiveConfig parameterizes the Fig 3 policy.
 type AdaptiveConfig struct {
 	// CheckInterval rate-limits utilization queries ("if ...5 ms elapsed
@@ -102,6 +112,18 @@ type AdaptiveConfig struct {
 	BatchThreshold int
 	// Window is the moving-average window in samples.
 	Window int
+
+	// UseObservedLatency opts into telemetry-fed profitability: once both
+	// latency sources (SetLatencySources) hold at least MinSamples
+	// observations, the static BatchThreshold gate is replaced by a direct
+	// comparison of observed per-item GPU vs CPU latency at
+	// LatencyQuantile. The contention gate (UtilThreshold) always applies.
+	UseObservedLatency bool
+	// LatencyQuantile is the compared percentile. Default 0.5 (median).
+	LatencyQuantile float64
+	// MinSamples is the per-source observation floor below which the
+	// policy falls back to BatchThreshold. Default 16.
+	MinSamples int64
 }
 
 // DefaultAdaptiveConfig mirrors the constants the evaluation uses.
@@ -127,6 +149,8 @@ type Adaptive struct {
 	avg       *MovingAverage
 	lastCheck time.Duration
 	checked   bool
+
+	gpuLat, cpuLat LatencySource
 }
 
 // NewAdaptive builds the policy. query is invoked at most once per
@@ -138,7 +162,22 @@ func NewAdaptive(cfg AdaptiveConfig, clock *vtime.Clock, query func() int) *Adap
 	if cfg.Window <= 0 {
 		cfg.Window = 8
 	}
+	if cfg.LatencyQuantile <= 0 || cfg.LatencyQuantile > 1 {
+		cfg.LatencyQuantile = 0.5
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 16
+	}
 	return &Adaptive{cfg: cfg, clock: clock, query: query, avg: NewMovingAverage(cfg.Window)}
+}
+
+// SetLatencySources feeds the policy observed per-item latency series for
+// each path (typically the runtime's shared telemetry histograms). Only
+// consulted when AdaptiveConfig.UseObservedLatency is set.
+func (a *Adaptive) SetLatencySources(gpu, cpu LatencySource) {
+	a.mu.Lock()
+	a.gpuLat, a.cpuLat = gpu, cpu
+	a.mu.Unlock()
 }
 
 // Decide implements Func.
@@ -154,9 +193,22 @@ func (a *Adaptive) Decide(batchSize int) Decision {
 		a.avg.Add(float64(u))
 	}
 	execRate := a.avg.Value()
+	gpuLat, cpuLat := a.gpuLat, a.cpuLat
 	a.mu.Unlock()
 
-	if execRate < float64(a.cfg.UtilThreshold) && batchSize >= a.cfg.BatchThreshold {
+	if execRate >= float64(a.cfg.UtilThreshold) {
+		return UseCPU // contended: back off regardless of profitability
+	}
+	if a.cfg.UseObservedLatency && gpuLat != nil && cpuLat != nil &&
+		gpuLat.Count() >= a.cfg.MinSamples && cpuLat.Count() >= a.cfg.MinSamples {
+		// Fig 3's crossover on measured signal: offload when the observed
+		// per-item GPU latency beats the CPU path at the chosen quantile.
+		if gpuLat.QuantileDuration(a.cfg.LatencyQuantile) <= cpuLat.QuantileDuration(a.cfg.LatencyQuantile) {
+			return UseGPU
+		}
+		return UseCPU
+	}
+	if batchSize >= a.cfg.BatchThreshold {
 		return UseGPU
 	}
 	return UseCPU

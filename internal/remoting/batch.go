@@ -211,8 +211,10 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 		}
 		d.api.ChargeTransfer(int64(cursor))
 
+		lt := d.tel.Tracer.Current().StageTimer("launch", d.tr.Clock().Now())
 		launch := d.api.LaunchKernel(spec.Ctx, spec.Fn,
 			[]uint64{uint64(spec.DevIn), uint64(spec.DevOut), uint64(items)})
+		lt.End(d.tr.Clock().Now())
 		if launch != cuda.Success {
 			for _, i := range admitted {
 				perRes[i] = launch

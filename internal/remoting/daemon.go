@@ -10,6 +10,7 @@ import (
 	"lakego/internal/gpu"
 	"lakego/internal/nvml"
 	"lakego/internal/shm"
+	"lakego/internal/telemetry"
 )
 
 // HighLevelHandler realizes one custom high-level API (§4.4). It runs in the
@@ -41,6 +42,31 @@ type Daemon struct {
 	restarts     int64
 	generation   uint64
 	errlog       []string
+
+	tel DaemonTelemetry
+}
+
+// DaemonTelemetry is lakeD's instrument set; all fields may be nil.
+type DaemonTelemetry struct {
+	// Handled counts responses that reached the channel.
+	Handled *telemetry.Counter
+	// Executed counts commands whose handler actually ran.
+	Executed *telemetry.Counter
+	// Redelivered counts commands answered from the sequence journal.
+	Redelivered *telemetry.Counter
+	// CorruptFrames counts undecodable command frames.
+	CorruptFrames *telemetry.Counter
+	// GPUUtil / MemUtil hold the last NVML utilization sample served (%).
+	GPUUtil *telemetry.Gauge
+	MemUtil *telemetry.Gauge
+	// Tracer attaches dispatch and launch stages to the open call span.
+	Tracer *telemetry.Tracer
+}
+
+// SetTelemetry attaches instruments. Must be called during runtime
+// construction, before any traffic.
+func (d *Daemon) SetTelemetry(tel DaemonTelemetry) {
+	d.tel = tel
 }
 
 // maxErrlog bounds the daemon's attribution log.
@@ -213,12 +239,16 @@ func (d *Daemon) PumpOne() bool {
 		// Undecodable frame: no trustworthy sequence to journal. Answer
 		// with a seq-0 error the client demux will discard, forcing a
 		// clean retransmit of the command.
+		d.tel.CorruptFrames.Inc()
 		d.logErr(fmt.Sprintf("lakeD: corrupt frame (%d bytes): %v", len(frame), err))
 		d.respond(mustMarshalResponse(&Response{Result: int32(cuda.ErrInvalidValue)}))
 		return true
 	}
+	dispatch := d.tel.Tracer.Current().StageTimer("dispatch", d.tr.Clock().Now())
 	if cached, dup := d.journal.lookup(cmd.Seq); dup {
+		d.tel.Redelivered.Inc()
 		d.respond(cached)
+		dispatch.End(d.tr.Clock().Now())
 		return true
 	}
 	switch d.crashPoint() {
@@ -241,6 +271,7 @@ func (d *Daemon) PumpOne() bool {
 	out := mustMarshalResponse(d.handleCmd(cmd))
 	d.journal.record(cmd.Seq, out)
 	d.respond(out)
+	dispatch.End(d.tr.Clock().Now())
 	return true
 }
 
@@ -267,6 +298,7 @@ func (d *Daemon) respond(out []byte) {
 	d.mu.Lock()
 	d.handled++
 	d.mu.Unlock()
+	d.tel.Handled.Inc()
 }
 
 // mustMarshalResponse encodes a response the daemon built itself; failure
@@ -298,6 +330,7 @@ func (d *Daemon) handleCmd(cmd *Command) (resp *Response) {
 		d.mu.Lock()
 		d.executed++
 		d.mu.Unlock()
+		d.tel.Executed.Inc()
 	}
 	resp = d.execute(cmd)
 	if r := cuda.Result(resp.Result); r != cuda.Success {
@@ -367,13 +400,17 @@ func (d *Daemon) execute(cmd *Command) *Response {
 			resp.Result = int32(cuda.ErrInvalidValue)
 			break
 		}
+		launch := d.tel.Tracer.Current().StageTimer("launch", d.tr.Clock().Now())
 		resp.Result = int32(d.api.LaunchKernel(cmd.Args[0], cmd.Args[1], cmd.Args[2:]))
+		launch.End(d.tr.Clock().Now())
 
 	case APICuCtxSynchronize:
 		resp.Result = int32(d.api.CtxSynchronize(arg(cmd, 0)))
 
 	case APINvmlUtilization:
 		u := nvml.DeviceGetUtilizationRates(d.api.Device())
+		d.tel.GPUUtil.Set(int64(u.GPU))
+		d.tel.MemUtil.Set(int64(u.Memory))
 		resp.Vals = []uint64{uint64(u.GPU), uint64(u.Memory)}
 
 	case APICuMemGetInfo:

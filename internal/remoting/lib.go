@@ -11,6 +11,7 @@ import (
 	"lakego/internal/cuda"
 	"lakego/internal/gpu"
 	"lakego/internal/shm"
+	"lakego/internal/telemetry"
 )
 
 // ErrTransport reports a remoting transport failure (closed channel, lost
@@ -53,6 +54,33 @@ type Lib struct {
 	// stubs, routing workloads to their CPU fallback) until the supervisor
 	// restores service and calls MarkRecovered.
 	dead bool
+
+	tel LibTelemetry
+}
+
+// LibTelemetry is lakeLib's instrument set; all fields may be nil.
+type LibTelemetry struct {
+	// Calls counts completed remoted invocations.
+	Calls *telemetry.Counter
+	// CallLatency observes per-call end-to-end virtual latency, including
+	// backoff waits on the resilient path.
+	CallLatency *telemetry.Histogram
+	// Mirrors of the ResilienceStats counters, so fault-machinery activity
+	// is visible on the exposition endpoints without polling the struct.
+	Retries          *telemetry.Counter
+	CorruptResponses *telemetry.Counter
+	StaleResponses   *telemetry.Counter
+	Recoveries       *telemetry.Counter
+	DeadlineExceeded *telemetry.Counter
+	DaemonDead       *telemetry.Counter
+	// Tracer produces per-call spans when enabled.
+	Tracer *telemetry.Tracer
+}
+
+// SetTelemetry attaches instruments. Must be called during runtime
+// construction, before any traffic.
+func (l *Lib) SetTelemetry(tel LibTelemetry) {
+	l.tel = tel
 }
 
 // NewLib creates the kernel-side stub library. The daemon is driven
@@ -132,17 +160,36 @@ func (l *Lib) resilience() *Resilience {
 // call performs one remoted invocation end to end.
 func (l *Lib) call(cmd *Command) (*Response, error) {
 	cmd.Seq = l.seq.Add(1)
+	marshalWall := time.Now()
 	frame, err := MarshalCommand(cmd)
 	if err != nil {
 		return nil, err
 	}
 	l.callMu.Lock()
 	defer l.callMu.Unlock()
-	res := l.resilience()
-	if res == nil {
-		return l.exchangeOnce(cmd, frame)
+	vstart := l.tr.Clock().Now()
+	if l.tel.Tracer.Enabled() {
+		// The span either starts here (a direct call) or joins the open one
+		// (a call issued inside a batcher flush span). Marshal is a
+		// zero-virtual-width stage: it costs wall time only.
+		sp, owner := l.tel.Tracer.StartSpan(cmd.API.String(), cmd.Seq, vstart)
+		sp.AddStage("marshal", vstart, vstart, time.Since(marshalWall))
+		if owner {
+			defer func() { l.tel.Tracer.FinishSpan(sp, l.tr.Clock().Now()) }()
+		}
 	}
-	return l.exchangeResilient(cmd, frame, res)
+	res := l.resilience()
+	var resp *Response
+	if res == nil {
+		resp, err = l.exchangeOnce(cmd, frame)
+	} else {
+		resp, err = l.exchangeResilient(cmd, frame, res)
+	}
+	if err == nil {
+		l.tel.Calls.Inc()
+		l.tel.CallLatency.ObserveDuration(l.tr.Clock().Now() - vstart)
+	}
+	return resp, err
 }
 
 // exchangeOnce is the legacy single-attempt exchange: one send, one pump,
@@ -155,6 +202,7 @@ func (l *Lib) exchangeOnce(cmd *Command, frame []byte) (*Response, error) {
 	if !l.daemon.PumpOne() {
 		return nil, fmt.Errorf("%w: daemon did not observe command", ErrTransport)
 	}
+	demuxWall := time.Now()
 	respFrame, ok := l.tr.RecvInKernel()
 	if !ok {
 		return nil, fmt.Errorf("%w: no response", ErrTransport)
@@ -167,9 +215,15 @@ func (l *Lib) exchangeOnce(cmd *Command, frame []byte) (*Response, error) {
 		return nil, fmt.Errorf("%w: response seq %d for command %d",
 			ErrTransport, resp.Seq, cmd.Seq)
 	}
+	if sp := l.tel.Tracer.Current(); sp != nil {
+		vnow := l.tr.Clock().Now()
+		sp.AddStage("demux", vnow, vnow, time.Since(demuxWall))
+	}
 	// Charge the channel's modeled cost for what actually crossed the
 	// boundary in both directions (Fig 6's size-dependent overhead).
+	chTimer := l.tel.Tracer.Current().StageTimer("channel", l.tr.Clock().Now())
 	d := l.tr.ChargeRoundTrip(len(frame) + len(respFrame))
+	chTimer.End(l.tr.Clock().Now())
 	l.mu.Lock()
 	l.calls++
 	l.remotedTime += d
@@ -188,6 +242,7 @@ func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*R
 		l.mu.Lock()
 		l.rstats.DaemonDead++
 		l.mu.Unlock()
+		l.tel.DaemonDead.Inc()
 		return nil, fmt.Errorf("%s seq=%d: %w", cmd.API, cmd.Seq, ErrDaemonDead)
 	}
 	start := l.tr.Clock().Now()
@@ -202,6 +257,7 @@ func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*R
 			l.mu.Lock()
 			l.rstats.DeadlineExceeded++
 			l.mu.Unlock()
+			l.tel.DeadlineExceeded.Inc()
 			return nil, fmt.Errorf("%s seq=%d after %v: %w (last: %v)",
 				cmd.API, cmd.Seq, l.tr.Clock().Now()-start, ErrDeadlineExceeded, lastErr)
 		}
@@ -218,6 +274,7 @@ func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*R
 			l.mu.Lock()
 			l.rstats.Retries++
 			l.mu.Unlock()
+			l.tel.Retries.Inc()
 			l.tr.Clock().Advance(res.Retry.BackoffFor(attempt-1, l.rng.draw()))
 			continue
 		}
@@ -230,12 +287,14 @@ func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*R
 			l.mu.Lock()
 			l.rstats.Recoveries++
 			l.mu.Unlock()
+			l.tel.Recoveries.Inc()
 			continue
 		}
 		l.mu.Lock()
 		l.rstats.DaemonDead++
 		l.dead = true
 		l.mu.Unlock()
+		l.tel.DaemonDead.Inc()
 		return nil, fmt.Errorf("%s seq=%d: %w (last: %v)", cmd.API, cmd.Seq, ErrDaemonDead, err)
 	}
 }
@@ -250,6 +309,7 @@ func (l *Lib) attemptOnce(cmd *Command, frame []byte) (*Response, error) {
 	}
 	for l.daemon.PumpOne() {
 	}
+	demuxWall := time.Now()
 	for {
 		respFrame, ok := l.tr.RecvInKernel()
 		if !ok {
@@ -260,6 +320,7 @@ func (l *Lib) attemptOnce(cmd *Command, frame []byte) (*Response, error) {
 			l.mu.Lock()
 			l.rstats.CorruptResponses++
 			l.mu.Unlock()
+			l.tel.CorruptResponses.Inc()
 			continue
 		}
 		if resp.Seq != cmd.Seq {
@@ -269,9 +330,16 @@ func (l *Lib) attemptOnce(cmd *Command, frame []byte) (*Response, error) {
 			l.mu.Lock()
 			l.rstats.StaleResponses++
 			l.mu.Unlock()
+			l.tel.StaleResponses.Inc()
 			continue
 		}
+		if sp := l.tel.Tracer.Current(); sp != nil {
+			vnow := l.tr.Clock().Now()
+			sp.AddStage("demux", vnow, vnow, time.Since(demuxWall))
+		}
+		chTimer := l.tel.Tracer.Current().StageTimer("channel", l.tr.Clock().Now())
 		d := l.tr.ChargeRoundTrip(len(frame) + len(respFrame))
+		chTimer.End(l.tr.Clock().Now())
 		l.mu.Lock()
 		l.calls++
 		l.remotedTime += d

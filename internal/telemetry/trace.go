@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one timed segment of a span: marshal, channel, dispatch, launch,
+// demux, coalesce. VStart/VEnd are virtual-clock timestamps (simulated
+// nanoseconds since the runtime's epoch); Wall is the stage's wall-clock
+// duration, the only real-time quantity in the plane (it profiles the
+// library itself, since stages like marshal cost no virtual time).
+type Stage struct {
+	Name   string        `json:"stage"`
+	VStart time.Duration `json:"v_start_ns"`
+	VEnd   time.Duration `json:"v_end_ns"`
+	Wall   time.Duration `json:"wall_ns"`
+}
+
+// Span is one traced operation — typically a single remoted call following
+// an offloaded inference from marshal through response demux, or a batcher
+// flush that additionally carries the coalesce stage. Spans are created by
+// a Tracer; a nil *Span is a no-op.
+type Span struct {
+	name   string
+	seq    uint64
+	vstart time.Duration
+
+	mu     sync.Mutex
+	vend   time.Duration
+	stages []Stage
+}
+
+// spanJSON is the exported shape of a span.
+type spanJSON struct {
+	Name   string        `json:"name"`
+	Seq    uint64        `json:"seq"`
+	VStart time.Duration `json:"v_start_ns"`
+	VEnd   time.Duration `json:"v_end_ns"`
+	Stages []Stage       `json:"stages"`
+}
+
+// Name returns the span's operation name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// AddStage records a completed stage with explicit virtual bounds. Callers
+// that accumulate a stage across components (the batcher's coalesce window)
+// use this; sequential code prefers StageTimer.
+func (s *Span) AddStage(name string, vstart, vend, wall time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stages = append(s.stages, Stage{Name: name, VStart: vstart, VEnd: vend, Wall: wall})
+	s.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stages.
+func (s *Span) Stages() []Stage {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Stage, len(s.stages))
+	copy(out, s.stages)
+	return out
+}
+
+// StageTimer begins timing a stage at virtual instant vnow; call End when
+// the stage completes. Safe on a nil span (End becomes a no-op).
+func (s *Span) StageTimer(name string, vnow time.Duration) StageTimer {
+	if s == nil {
+		return StageTimer{}
+	}
+	return StageTimer{s: s, name: name, vstart: vnow, wall: time.Now()}
+}
+
+// StageTimer measures one in-progress stage.
+type StageTimer struct {
+	s      *Span
+	name   string
+	vstart time.Duration
+	wall   time.Time
+}
+
+// End records the stage, closing it at virtual instant vnow.
+func (t StageTimer) End(vnow time.Duration) {
+	if t.s == nil {
+		return
+	}
+	t.s.AddStage(t.name, t.vstart, vnow, time.Since(t.wall))
+}
+
+// snapshot copies the span for export.
+func (s *Span) snapshot() spanJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := make([]Stage, len(s.stages))
+	copy(st, s.stages)
+	return spanJSON{Name: s.name, Seq: s.seq, VStart: s.vstart, VEnd: s.vend, Stages: st}
+}
+
+// maxDoneSpans bounds the tracer's completed-span ring.
+const maxDoneSpans = 64
+
+// Tracer produces spans when enabled. It is designed for tracing one
+// logical call at a time (the debugging workflow: enable, issue the call,
+// export the timeline): StartSpan hands the current open span to nested
+// components — the batcher opens a flush span, and the remoted call it
+// issues attaches its stages to that same span instead of opening a second
+// one. It is safe for concurrent use, but concurrent unrelated calls while
+// enabled will interleave stages into whichever span is open.
+//
+// A nil *Tracer is a permanently disabled no-op.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	cur  *Span
+	done []*Span // most recent maxDoneSpans, oldest first
+}
+
+// SetEnabled switches tracing on or off. No-op on nil.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether spans are being produced (false for nil). The
+// check is one atomic load — the hot-path cost of disabled tracing.
+func (t *Tracer) Enabled() bool {
+	return t != nil && t.enabled.Load()
+}
+
+// StartSpan opens a span at virtual instant vnow, or joins the currently
+// open one. owner reports whether the caller opened the span and must
+// close it with FinishSpan; a joiner only attaches stages. Returns
+// (nil, false) when disabled.
+func (t *Tracer) StartSpan(name string, seq uint64, vnow time.Duration) (sp *Span, owner bool) {
+	if !t.Enabled() {
+		return nil, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cur != nil {
+		return t.cur, false
+	}
+	t.cur = &Span{name: name, seq: seq, vstart: vnow}
+	return t.cur, true
+}
+
+// Current returns the open span, if any. Components that only ever attach
+// stages (lakeD's dispatcher) use this instead of StartSpan. Costs one
+// atomic load when tracing is disabled — hot paths call it unconditionally.
+func (t *Tracer) Current() *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur
+}
+
+// FinishSpan closes an owned span at virtual instant vnow and moves it to
+// the completed ring.
+func (t *Tracer) FinishSpan(sp *Span, vnow time.Duration) {
+	if t == nil || sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.vend = vnow
+	sp.mu.Unlock()
+	t.mu.Lock()
+	if t.cur == sp {
+		t.cur = nil
+	}
+	t.done = append(t.done, sp)
+	if len(t.done) > maxDoneSpans {
+		t.done = append(t.done[:0], t.done[len(t.done)-maxDoneSpans:]...)
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the completed spans, oldest first.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.done))
+	copy(out, t.done)
+	return out
+}
+
+// Reset discards completed spans (the open span, if any, is kept).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done = nil
+	t.mu.Unlock()
+}
+
+// TimelineJSON exports the completed spans as a JSON timeline: an array of
+// spans, each with its virtual start/end and per-stage virtual bounds.
+func (t *Tracer) TimelineJSON() ([]byte, error) {
+	spans := t.Spans()
+	out := make([]spanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = s.snapshot()
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

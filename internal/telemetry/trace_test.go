@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	if tr.Enabled() {
+		t.Fatal("tracer must start disabled")
+	}
+	sp, owner := tr.StartSpan("call", 1, 0)
+	if sp != nil || owner {
+		t.Fatal("disabled tracer must not produce spans")
+	}
+	// Nil span is inert end to end.
+	sp.AddStage("x", 0, 0, 0)
+	sp.StageTimer("y", 0).End(0)
+	if sp.Stages() != nil {
+		t.Fatal("nil span must have no stages")
+	}
+}
+
+func TestSpanOwnership(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	tr.SetEnabled(true)
+
+	outer, owner := tr.StartSpan("flush", 7, 100)
+	if outer == nil || !owner {
+		t.Fatal("first StartSpan must create and own the span")
+	}
+	inner, innerOwner := tr.StartSpan("call", 8, 150)
+	if inner != outer {
+		t.Fatal("nested StartSpan must join the open span")
+	}
+	if innerOwner {
+		t.Fatal("joiner must not own the span")
+	}
+	if tr.Current() != outer {
+		t.Fatal("Current must return the open span")
+	}
+
+	outer.AddStage("coalesce", 100, 150, time.Microsecond)
+	st := outer.StageTimer("launch", 150)
+	st.End(190)
+	tr.FinishSpan(outer, 200)
+
+	if tr.Current() != nil {
+		t.Fatal("finished span must clear current")
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("want 1 completed span, got %d", len(spans))
+	}
+	stages := spans[0].Stages()
+	if len(stages) != 2 || stages[0].Name != "coalesce" || stages[1].Name != "launch" {
+		t.Fatalf("unexpected stages: %+v", stages)
+	}
+	if stages[1].VStart != 150 || stages[1].VEnd != 190 {
+		t.Fatalf("launch stage virtual bounds = %d..%d, want 150..190",
+			stages[1].VStart, stages[1].VEnd)
+	}
+}
+
+func TestTimelineJSON(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	tr.SetEnabled(true)
+	sp, _ := tr.StartSpan("infer", 42, 1000)
+	sp.AddStage("marshal", 1000, 1000, 3*time.Microsecond)
+	sp.AddStage("channel", 1000, 31000, time.Microsecond)
+	tr.FinishSpan(sp, 31000)
+
+	raw, err := tr.TimelineJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Name   string `json:"name"`
+		Seq    uint64 `json:"seq"`
+		VStart int64  `json:"v_start_ns"`
+		VEnd   int64  `json:"v_end_ns"`
+		Stages []struct {
+			Stage  string `json:"stage"`
+			VStart int64  `json:"v_start_ns"`
+			VEnd   int64  `json:"v_end_ns"`
+			Wall   int64  `json:"wall_ns"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("timeline does not parse: %v\n%s", err, raw)
+	}
+	if len(out) != 1 || out[0].Name != "infer" || out[0].Seq != 42 {
+		t.Fatalf("unexpected timeline: %s", raw)
+	}
+	if out[0].VStart != 1000 || out[0].VEnd != 31000 {
+		t.Fatalf("span virtual bounds lost: %s", raw)
+	}
+	if len(out[0].Stages) != 2 || out[0].Stages[1].Stage != "channel" ||
+		out[0].Stages[1].VEnd != 31000 {
+		t.Fatalf("stage detail lost: %s", raw)
+	}
+}
+
+func TestSpanRingBounded(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	tr.SetEnabled(true)
+	for i := 0; i < maxDoneSpans+10; i++ {
+		sp, _ := tr.StartSpan("s", uint64(i), 0)
+		tr.FinishSpan(sp, 0)
+	}
+	spans := tr.Spans()
+	if len(spans) != maxDoneSpans {
+		t.Fatalf("ring holds %d, want %d", len(spans), maxDoneSpans)
+	}
+	// Oldest entries evicted: the first surviving span is seq 10.
+	if spans[0].seq != 10 {
+		t.Fatalf("first surviving span seq = %d, want 10", spans[0].seq)
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 {
+		t.Fatal("Reset must clear completed spans")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/shm"
+	"lakego/internal/telemetry"
 )
 
 // Runtime is one booted LAKE instance; see core.Runtime for method docs.
@@ -115,6 +116,28 @@ type (
 
 // ErrBackpressure is the batcher's reject-with-retry result.
 var ErrBackpressure = batcher.ErrBackpressure
+
+// Observability plane types (internal/telemetry): every runtime carries a
+// metrics + tracing registry (disable with Config.DisableTelemetry) exposed
+// through Runtime.Telemetry(). Instruments are allocation-free on the hot
+// path, and every method is a no-op on a nil receiver, so instrumented code
+// never guards for a disabled plane.
+type (
+	// TelemetryRegistry is the per-runtime metric/tracing registry.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time JSON-friendly metrics dump.
+	TelemetrySnapshot = telemetry.Snapshot
+	// Counter is a monotonically increasing metric.
+	Counter = telemetry.Counter
+	// Gauge is a settable level metric.
+	Gauge = telemetry.Gauge
+	// Histogram is a fixed-bucket latency/size distribution.
+	Histogram = telemetry.Histogram
+	// Tracer records span-style per-call timelines when enabled.
+	Tracer = telemetry.Tracer
+	// Span is one traced call with its stage timeline.
+	Span = telemetry.Span
+)
 
 // DefaultBatcherConfig returns the batching defaults (32-item target
 // batches, 100µs max-wait flush deadline).

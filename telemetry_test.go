@@ -1,0 +1,309 @@
+// Acceptance tests for the observability plane: a traced remoted call must
+// produce a complete stage timeline, the batcher's coalescing must appear
+// as a span, and keeping telemetry enabled (its default) must stay within
+// the <5% wall-clock overhead bound on the batched-inference workload.
+package lake_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	lake "lakego"
+	"lakego/internal/batcher"
+	"lakego/internal/linnos"
+	"lakego/internal/nn"
+)
+
+// timelineSpan mirrors the tracer's JSON export shape.
+type timelineSpan struct {
+	Name   string `json:"name"`
+	Seq    uint64 `json:"seq"`
+	VStart int64  `json:"v_start_ns"`
+	VEnd   int64  `json:"v_end_ns"`
+	Stages []struct {
+		Stage  string `json:"stage"`
+		VStart int64  `json:"v_start_ns"`
+		VEnd   int64  `json:"v_end_ns"`
+		Wall   int64  `json:"wall_ns"`
+	} `json:"stages"`
+}
+
+// TestTracedInferenceTimeline follows one offloaded call end to end: with
+// tracing armed, a remoted cuLaunchKernel must export a JSON timeline whose
+// stages cover marshal, channel, daemon dispatch, device launch and
+// response demux, all timestamped on the virtual clock.
+func TestTracedInferenceTimeline(t *testing.T) {
+	cfg := lake.DefaultConfig()
+	cfg.TraceCalls = true
+	rt, err := lake.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.RegisterKernel(lake.VecAddKernel())
+	lib := rt.Lib()
+	ctx, r := lib.CuCtxCreate("trace-test")
+	if r != lake.Success {
+		t.Fatalf("cuCtxCreate: %s", r)
+	}
+	mod, _ := lib.CuModuleLoad("kernels.cubin")
+	fn, r := lib.CuModuleGetFunction(mod, "vecadd")
+	if r != lake.Success {
+		t.Fatalf("cuModuleGetFunction: %s", r)
+	}
+	const n = 16
+	da, _ := lib.CuMemAlloc(4 * n)
+	dc, _ := lib.CuMemAlloc(4 * n)
+	if r := lib.CuLaunchKernel(ctx, fn, []uint64{uint64(da), uint64(da), uint64(dc), n}); r != lake.Success {
+		t.Fatalf("launch: %s", r)
+	}
+
+	raw, err := rt.Telemetry().Tracer().TimelineJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []timelineSpan
+	if err := json.Unmarshal(raw, &spans); err != nil {
+		t.Fatalf("timeline does not parse: %v\n%s", err, raw)
+	}
+	var launch *timelineSpan
+	for i := range spans {
+		if spans[i].Name == "cuLaunchKernel" {
+			launch = &spans[i]
+		}
+	}
+	if launch == nil {
+		t.Fatalf("no cuLaunchKernel span in timeline:\n%s", raw)
+	}
+	if launch.VEnd < launch.VStart {
+		t.Fatalf("span virtual bounds inverted: [%d, %d]", launch.VStart, launch.VEnd)
+	}
+	got := map[string]bool{}
+	for _, st := range launch.Stages {
+		got[st.Stage] = true
+		if st.VStart < launch.VStart || st.VEnd > launch.VEnd || st.VEnd < st.VStart {
+			t.Errorf("stage %s virtual window [%d, %d] escapes span [%d, %d]",
+				st.Stage, st.VStart, st.VEnd, launch.VStart, launch.VEnd)
+		}
+	}
+	for _, want := range []string{"marshal", "channel", "dispatch", "launch", "demux"} {
+		if !got[want] {
+			t.Errorf("timeline missing stage %q (have %v)", want, launch.Stages)
+		}
+	}
+	// The modeled work — the channel round trip and the device launch —
+	// must occupy virtual time; the host-only stages need not.
+	for _, st := range launch.Stages {
+		if (st.Stage == "channel" || st.Stage == "launch") && st.VEnd == st.VStart {
+			t.Errorf("stage %s has zero virtual width", st.Stage)
+		}
+	}
+}
+
+// TestBatchedCoalesceTrace drives one flush through the batching subsystem
+// with tracing armed and asserts the flush span records the coalesce window
+// plus the nested remoted call's launch stage.
+func TestBatchedCoalesceTrace(t *testing.T) {
+	cfg := lake.DefaultConfig()
+	cfg.TraceCalls = true
+	rt, err := lake.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pred, err := linnos.NewPredictor(rt, linnos.Base, nn.New(3, linnos.Base.Sizes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := batcher.DefaultConfig()
+	bcfg.MaxWait = 100 * time.Microsecond
+	b := rt.NewBatcher(bcfg)
+	if err := pred.EnableBatching(b); err != nil {
+		t.Fatal(err)
+	}
+	c := b.Client("trace-client")
+	p, err := pred.SubmitBatched(c, [][]float32{linnosFeature(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := linnos.WaitSlow(p); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := rt.Telemetry().Tracer().TimelineJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []timelineSpan
+	if err := json.Unmarshal(raw, &spans); err != nil {
+		t.Fatal(err)
+	}
+	var flush *timelineSpan
+	for i := range spans {
+		if len(spans[i].Name) >= 6 && spans[i].Name[:6] == "flush/" {
+			flush = &spans[i]
+		}
+	}
+	if flush == nil {
+		t.Fatalf("no flush span in timeline:\n%s", raw)
+	}
+	got := map[string]bool{}
+	for _, st := range flush.Stages {
+		got[st.Stage] = true
+	}
+	for _, want := range []string{"coalesce", "dispatch", "launch"} {
+		if !got[want] {
+			t.Errorf("flush span missing stage %q (have %v)", want, flush.Stages)
+		}
+	}
+}
+
+// TestTelemetryOverhead is the acceptance guard on instrumentation cost:
+// the batched-inference workload with telemetry enabled (the default
+// runtime shape) must stay within 5% wall-clock of the same workload on a
+// runtime booted with DisableTelemetry. Each attempt takes the minimum of
+// several interleaved measurements to shed scheduler noise, and the bound
+// only fails after every attempt exceeds it.
+func TestTelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped in -short")
+	}
+	const (
+		clients   = 32
+		reps      = 3 // measurements per mode per attempt
+		attempts  = 4
+		tolerance = 1.05
+	)
+	measure := func(disable bool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			runBatchedLinnOSCfg(t, clients, batchBenchPerClient, benchConfig(disable))
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	var ratio float64
+	for a := 0; a < attempts; a++ {
+		disabled := measure(true)
+		enabled := measure(false)
+		ratio = float64(enabled) / float64(disabled)
+		t.Logf("attempt %d: telemetry enabled %v, disabled %v, ratio %.3f", a, enabled, disabled, ratio)
+		if ratio <= tolerance {
+			return
+		}
+	}
+	t.Fatalf("telemetry overhead %.1f%% exceeds 5%% on every attempt", (ratio-1)*100)
+}
+
+// TestRuntimeMetricsPopulated sanity-checks the registry end to end on a
+// real workload: the per-layer counters that must move, move, and both
+// export formats carry them.
+func TestRuntimeMetricsPopulated(t *testing.T) {
+	rt, err := lake.New(benchConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pred, err := linnos.NewPredictor(rt, linnos.Base, nn.New(3, linnos.Base.Sizes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := pred.InferLAKE([][]float32{linnosFeature(0, i)}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tel := rt.Telemetry()
+	snap := tel.Snapshot()
+	for _, name := range []string{
+		`lake_boundary_sent_total{channel="Netlink"}`,
+		"lake_lib_calls_total",
+		"lake_daemon_handled_total",
+		"lake_gpu_launches_total",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s did not move (snapshot %+v)", name, snap.Counters)
+		}
+	}
+	if h, ok := snap.Histograms["lake_lib_call_latency_ns"]; !ok || h.Count == 0 {
+		t.Error("lake_lib_call_latency_ns histogram empty")
+	}
+	text := tel.PrometheusText()
+	for _, want := range []string{"# TYPE lake_lib_calls_total counter", "lake_gpu_launches_total "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}
+
+// TestTelemetryDisabledIsNil pins the disabled contract: Telemetry()
+// returns nil and the nil registry degrades safely everywhere a caller
+// might poke it.
+func TestTelemetryDisabledIsNil(t *testing.T) {
+	rt, err := lake.New(benchConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	tel := rt.Telemetry()
+	if tel != nil {
+		t.Fatalf("Telemetry() = %v on a DisableTelemetry runtime, want nil", tel)
+	}
+	// Exercising the runtime with a nil registry must not panic anywhere.
+	lib := rt.Lib()
+	if _, r := lib.CuCtxCreate("no-telemetry"); r != lake.Success {
+		t.Fatalf("cuCtxCreate: %s", r)
+	}
+	if tel.Counter("x", "").Value() != 0 {
+		t.Fatal("nil registry counter should read 0")
+	}
+	if tel.Tracer() != nil {
+		t.Fatal("nil registry should hand out a nil tracer")
+	}
+	if s := tel.Tracer().Current(); s != nil {
+		t.Fatal("nil tracer Current() should be nil")
+	}
+}
+
+// TestObservedLatencyPolicy closes the Fig 3 loop on measured signal: after
+// warming the shared per-item latency histograms through real runs, an
+// Adaptive policy with UseObservedLatency must route by the observed
+// GPU-vs-CPU comparison rather than the static batch threshold.
+func TestObservedLatencyPolicy(t *testing.T) {
+	rt, err := lake.New(benchConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	pred, err := linnos.NewPredictor(rt, linnos.Base, nn.New(3, linnos.Base.Sizes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both series past MinSamples: single-item remoted runs are far
+	// slower per item than the calibrated CPU path, so observed signal
+	// says "CPU" even for batches the static threshold would offload.
+	for i := 0; i < 20; i++ {
+		if _, _, err := pred.InferLAKE([][]float32{linnosFeature(0, i)}, true); err != nil {
+			t.Fatal(err)
+		}
+		pred.InferCPU([][]float32{linnosFeature(0, i)})
+	}
+	pcfg := lake.DefaultAdaptiveConfig()
+	pcfg.BatchThreshold = 1 // static gate would say GPU for any batch
+	pcfg.UseObservedLatency = true
+	pol := rt.NewAdaptivePolicy(pcfg)
+	if dec := pol.Decide(4); dec != lake.UseCPU {
+		t.Fatalf("observed-latency policy decided %v; measured single-item GPU latency should route to CPU", dec)
+	}
+	// Control: the same configuration without the opt-in keeps the static
+	// batch-threshold behavior.
+	pcfg.UseObservedLatency = false
+	if dec := rt.NewAdaptivePolicy(pcfg).Decide(4); dec != lake.UseGPU {
+		t.Fatalf("static policy decided %v, want GPU", dec)
+	}
+}

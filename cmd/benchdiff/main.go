@@ -239,6 +239,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			w("note: baseline benchmark %s missing from current run\n", name)
 		}
 	}
+	// Benchmarks the baseline has never seen are informational only: they
+	// cannot gate (there is nothing to compare against) but flagging them
+	// reminds the committer to refresh the baseline with -update.
+	var added []string
+	for name := range cur {
+		if _, ok := base.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		w("note: benchmark %s not in baseline (informational; refresh with -update)\n", name)
+	}
 	w("geomean speed ratio %.4fx over %d metrics (gate: >= %.4fx)\n",
 		geomean, len(deltas), 1-*threshold)
 	if geomean < 1-*threshold {

@@ -27,10 +27,13 @@ import (
 // runMetricsDemo boots an instrumented runtime with tracing armed, pushes a
 // short remoted workload through it, and prints the resulting Prometheus
 // exposition followed by the traced span timeline — the CLI face of the
-// observability plane.
-func runMetricsDemo() error {
+// observability plane. With devices > 1 the runtime boots a multi-GPU pool
+// and the exposition carries per-device labeled series.
+func runMetricsDemo(devices int, poolPolicy lake.PoolPolicy) error {
 	cfg := lake.DefaultConfig()
 	cfg.TraceCalls = true
+	cfg.NumDevices = devices
+	cfg.PoolPolicy = poolPolicy
 	rt, err := lake.New(cfg)
 	if err != nil {
 		return err
@@ -97,6 +100,8 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run, or 'all'")
 	out := flag.String("out", "", "also write the output to this file")
 	metrics := flag.Bool("metrics", false, "run an instrumented demo workload and dump telemetry")
+	devices := flag.Int("devices", 1, "number of modeled GPUs in the device pool (for -metrics)")
+	poolPolicy := flag.String("pool-policy", "contention-aware", "context placement policy: round-robin, least-outstanding, contention-aware")
 	flag.Parse()
 
 	if *list {
@@ -107,7 +112,11 @@ func main() {
 		return
 	}
 	if *metrics {
-		if err := runMetricsDemo(); err != nil {
+		policy, err := lake.ParsePoolPolicy(*poolPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runMetricsDemo(*devices, policy); err != nil {
 			log.Fatal(err)
 		}
 		return

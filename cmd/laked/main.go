@@ -73,9 +73,17 @@ func main() {
 	noTelemetry := flag.Bool("no-telemetry", false, "boot the runtime without the observability plane")
 	traceCalls := flag.Bool("trace", false, "record per-call span timelines (see /spans.json)")
 	serve := flag.Bool("serve", false, "after the demo burst, keep serving the telemetry endpoints until interrupted")
+	devices := flag.Int("devices", 1, "number of modeled GPUs in the device pool")
+	poolPolicy := flag.String("pool-policy", "contention-aware", "context placement policy: round-robin, least-outstanding, contention-aware")
 	flag.Parse()
 
 	cfg := lake.DefaultConfig()
+	cfg.NumDevices = *devices
+	policy, err := lake.ParsePoolPolicy(*poolPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.PoolPolicy = policy
 	switch *channel {
 	case "netlink":
 		cfg.Channel = boundary.Netlink
@@ -165,6 +173,13 @@ func main() {
 	fmt.Printf("  shm in use           %d bytes\n", st.ShmUsed)
 	fmt.Printf("  modeled channel time %v\n", st.ChannelTime)
 	fmt.Printf("  virtual time elapsed %v\n", st.VirtualTime)
+	if *devices > 1 {
+		fmt.Printf("  device pool (%s placement):\n", rt.Pool().Policy())
+		for _, acc := range rt.Pool().Accounting() {
+			fmt.Printf("    gpu%d: %d launches, %d copies, %d bytes copied\n",
+				acc.Ordinal, acc.Launches, acc.Copies, acc.CopyBytes)
+		}
+	}
 
 	if *serve && *telemetryAddr != "" {
 		sig := make(chan os.Signal, 1)

@@ -37,6 +37,7 @@ import (
 
 	"lakego/internal/cuda"
 	"lakego/internal/gpu"
+	"lakego/internal/gpupool"
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/shm"
@@ -58,6 +59,15 @@ type Runtime interface {
 	Lib() *remoting.Lib
 	Region() *shm.Region
 	RegisterKernel(k *cuda.Kernel)
+}
+
+// PoolRuntime is optionally implemented by runtimes that expose a
+// multi-device pool. When present (and the pool has more than one device),
+// the batcher stages each model on every device and steers each flush to
+// the least-utilized one via Pool.PlaceFlush. Single-device runtimes —
+// and Runtime implementations that predate pooling — are untouched.
+type PoolRuntime interface {
+	Pool() *gpupool.Pool
 }
 
 // Config parameterizes a Batcher.
@@ -160,8 +170,9 @@ func (s Stats) AvgBatch() float64 {
 
 // Batcher aggregates inference requests across clients per model.
 type Batcher struct {
-	rt  Runtime
-	cfg Config
+	rt   Runtime
+	cfg  Config
+	pool *gpupool.Pool // non-nil only for multi-device runtimes
 
 	mu     sync.Mutex
 	models map[string]*model
@@ -204,7 +215,13 @@ func (b *Batcher) SetTelemetry(tel Telemetry) {
 // New creates a batcher on rt. Register models with RegisterModel, then
 // hand Client handles to submitters.
 func New(rt Runtime, cfg Config) *Batcher {
-	return &Batcher{rt: rt, cfg: cfg.withDefaults(), models: make(map[string]*model)}
+	b := &Batcher{rt: rt, cfg: cfg.withDefaults(), models: make(map[string]*model)}
+	if pr, ok := rt.(PoolRuntime); ok {
+		if pool := pr.Pool(); pool != nil && pool.Size() > 1 {
+			b.pool = pool
+		}
+	}
+	return b
 }
 
 // Config returns the batcher's effective (defaulted) configuration.
@@ -226,11 +243,13 @@ func (b *Batcher) Stats() Stats {
 	}
 }
 
-// model is one registered model's queue plus device-side handles.
+// model is one registered model's queue plus device-side handles. On a
+// multi-device runtime specs holds one staging spec per pool device (index
+// = ordinal); single-device runtimes have exactly specs[0].
 type model struct {
-	b    *Batcher
-	mc   ModelConfig
-	spec remoting.BatchSpec
+	b     *Batcher
+	mc    ModelConfig
+	specs []remoting.BatchSpec
 
 	mu          sync.Mutex
 	queue       []*Pending
@@ -272,10 +291,6 @@ func (b *Batcher) RegisterModel(mc ModelConfig) error {
 		Body:  m.kernelBody,
 	})
 	lib := b.rt.Lib()
-	ctx, r := lib.CuCtxCreate("batch-" + mc.Name)
-	if r != cuda.Success {
-		return r.Err()
-	}
 	mod, r := lib.CuModuleLoad(mc.Name + ".cubin")
 	if r != cuda.Success {
 		return r.Err()
@@ -284,17 +299,46 @@ func (b *Batcher) RegisterModel(mc ModelConfig) error {
 	if r != cuda.Success {
 		return r.Err()
 	}
-	devIn, r := lib.CuMemAlloc(int64(4 * mc.InputWidth * mc.MaxBatch))
-	if r != cuda.Success {
-		return r.Err()
-	}
-	devOut, r := lib.CuMemAlloc(int64(4 * mc.OutputWidth * mc.MaxBatch))
-	if r != cuda.Success {
-		return r.Err()
-	}
-	m.spec = remoting.BatchSpec{
-		Ctx: ctx, Fn: fn, DevIn: devIn, DevOut: devOut,
-		InWidth: mc.InputWidth, OutWidth: mc.OutputWidth,
+	if b.pool == nil {
+		// Single-device: the exact wire sequence the batcher has always
+		// issued (argless ctx create, single-arg alloc).
+		ctx, r := lib.CuCtxCreate("batch-" + mc.Name)
+		if r != cuda.Success {
+			return r.Err()
+		}
+		devIn, r := lib.CuMemAlloc(int64(4 * mc.InputWidth * mc.MaxBatch))
+		if r != cuda.Success {
+			return r.Err()
+		}
+		devOut, r := lib.CuMemAlloc(int64(4 * mc.OutputWidth * mc.MaxBatch))
+		if r != cuda.Success {
+			return r.Err()
+		}
+		m.specs = []remoting.BatchSpec{{
+			Ctx: ctx, Fn: fn, DevIn: devIn, DevOut: devOut,
+			InWidth: mc.InputWidth, OutWidth: mc.OutputWidth,
+		}}
+	} else {
+		// Multi-device: stage the model on every pool device so a flush can
+		// be steered to whichever device placement picks.
+		for ord := 0; ord < b.pool.Size(); ord++ {
+			ctx, r := lib.CuCtxCreateOnDevice("batch-"+mc.Name, ord)
+			if r != cuda.Success {
+				return r.Err()
+			}
+			devIn, r := lib.CuMemAllocOnDevice(int64(4*mc.InputWidth*mc.MaxBatch), ord)
+			if r != cuda.Success {
+				return r.Err()
+			}
+			devOut, r := lib.CuMemAllocOnDevice(int64(4*mc.OutputWidth*mc.MaxBatch), ord)
+			if r != cuda.Success {
+				return r.Err()
+			}
+			m.specs = append(m.specs, remoting.BatchSpec{
+				Ctx: ctx, Fn: fn, DevIn: devIn, DevOut: devOut,
+				InWidth: mc.InputWidth, OutWidth: mc.OutputWidth,
+			})
+		}
 	}
 	b.mu.Lock()
 	b.models[mc.Name] = m

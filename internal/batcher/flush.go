@@ -161,7 +161,13 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 				Count:  uint32(p.count),
 			}
 		}
-		per, r := b.rt.Lib().CuBatchedInfer(m.mc.Name, m.spec, entries)
+		// Per-flush placement: on a multi-device pool each launch goes to
+		// the least-utilized eligible device's staging spec.
+		spec := m.specs[0]
+		if b.pool != nil {
+			spec = m.specs[b.pool.PlaceFlush(nil)]
+		}
+		per, r := b.rt.Lib().CuBatchedInfer(m.mc.Name, spec, entries)
 		switch r {
 		case cuda.Success:
 			perRes = per

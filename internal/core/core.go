@@ -21,6 +21,7 @@ import (
 	"lakego/internal/faults"
 	"lakego/internal/features"
 	"lakego/internal/gpu"
+	"lakego/internal/gpupool"
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/shm"
@@ -32,6 +33,18 @@ import (
 type Config struct {
 	// GPU is the accelerator model; zero value means gpu.DefaultSpec().
 	GPU gpu.Spec
+	// NumDevices sizes the device pool (default 1); each device gets the
+	// GPU spec unless DeviceSpecs overrides the set.
+	NumDevices int
+	// DeviceSpecs, when non-empty, enumerates a (possibly heterogeneous)
+	// pool explicitly, overriding GPU and NumDevices.
+	DeviceSpecs []gpu.Spec
+	// PoolPolicy selects context placement across the pool (default
+	// round-robin; irrelevant with one device).
+	PoolPolicy gpupool.Policy
+	// PoolSeed seeds the pool's placement PRNG, keeping fixed-seed
+	// multi-device runs bit-identical.
+	PoolSeed int64
 	// ShmBytes sizes the lakeShm region (default shm.DefaultRegionSize,
 	// the artifact's cma=128M).
 	ShmBytes int64
@@ -77,7 +90,8 @@ func DefaultConfig() Config {
 // Runtime is one booted LAKE instance.
 type Runtime struct {
 	clock     *vtime.Clock
-	device    *gpu.Device
+	pool      *gpupool.Pool
+	device    *gpu.Device // pool device 0, the single-device view
 	api       *cuda.API
 	region    *shm.Region
 	transport *boundary.Transport
@@ -102,8 +116,31 @@ func New(cfg Config) (*Runtime, error) {
 		cfg.QueueDepth = 64
 	}
 	clock := vtime.New()
-	device := gpu.New(cfg.GPU, clock)
-	api := cuda.NewAPI(device)
+	specs := cfg.DeviceSpecs
+	if len(specs) == 0 {
+		n := cfg.NumDevices
+		if n <= 0 {
+			n = 1
+		}
+		specs = make([]gpu.Spec, n)
+		for i := range specs {
+			specs[i] = cfg.GPU
+		}
+	}
+	pool, err := gpupool.New(gpupool.Config{
+		Specs:  specs,
+		Policy: cfg.PoolPolicy,
+		Seed:   cfg.PoolSeed,
+	}, clock)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	device := pool.Device(0)
+	var place cuda.PlaceFunc
+	if pool.Size() > 1 {
+		place = pool.Place
+	}
+	api := cuda.NewMultiAPI(pool.Devices(), place)
 	region, err := shm.NewRegion(cfg.ShmBytes)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -113,6 +150,7 @@ func New(cfg Config) (*Runtime, error) {
 	lib := remoting.NewLib(tr, daemon, region)
 	rt := &Runtime{
 		clock:     clock,
+		pool:      pool,
 		device:    device,
 		api:       api,
 		region:    region,
@@ -169,13 +207,21 @@ func (r *Runtime) wireTelemetry(cfg Config) {
 		QueueFull: tel.Counter("lake_boundary_queue_full_total"+ch, "Sends rejected by a full channel queue."),
 		RoundTrip: tel.Histogram("lake_boundary_roundtrip_ns"+ch, "Modeled per-command round-trip cost (virtual ns).", telemetry.DefaultLatencyBuckets()),
 	})
-	r.device.SetTelemetry(gpu.Telemetry{
-		Launches:   tel.Counter("lake_gpu_launches_total", "Kernels executed on the device model."),
-		ExecTime:   tel.Histogram("lake_gpu_exec_ns", "Per-operation modeled execution cost (virtual ns), excluding queueing.", telemetry.DefaultLatencyBuckets()),
-		QueueDelay: tel.Histogram("lake_gpu_queue_delay_ns", "Per-operation contention delay (virtual ns) waiting for the device.", telemetry.DefaultLatencyBuckets()),
-		CopyTime:   tel.Histogram("lake_gpu_copy_ns", "Host<->device DMA durations (virtual ns) — copy-engine occupancy.", telemetry.DefaultLatencyBuckets()),
-		CopyBytes:  tel.Counter("lake_gpu_copy_bytes_total", "Bytes moved across the modeled PCIe link."),
-	})
+	for i, dev := range r.pool.Devices() {
+		// With one device the metric names stay exactly as they always were;
+		// a real pool labels each device's instrument set by ordinal.
+		lbl := ""
+		if r.pool.Size() > 1 {
+			lbl = fmt.Sprintf(`{device="%d"}`, i)
+		}
+		dev.SetTelemetry(gpu.Telemetry{
+			Launches:   tel.Counter("lake_gpu_launches_total"+lbl, "Kernels executed on the device model."),
+			ExecTime:   tel.Histogram("lake_gpu_exec_ns"+lbl, "Per-operation modeled execution cost (virtual ns), excluding queueing.", telemetry.DefaultLatencyBuckets()),
+			QueueDelay: tel.Histogram("lake_gpu_queue_delay_ns"+lbl, "Per-operation contention delay (virtual ns) waiting for the device.", telemetry.DefaultLatencyBuckets()),
+			CopyTime:   tel.Histogram("lake_gpu_copy_ns"+lbl, "Host<->device DMA durations (virtual ns) — copy-engine occupancy.", telemetry.DefaultLatencyBuckets()),
+			CopyBytes:  tel.Counter("lake_gpu_copy_bytes_total"+lbl, "Bytes moved across the modeled PCIe link."),
+		})
+	}
 	r.lib.SetTelemetry(remoting.LibTelemetry{
 		Calls:            tel.Counter("lake_lib_calls_total", "Completed remoted invocations."),
 		CallLatency:      tel.Histogram("lake_lib_call_latency_ns", "End-to-end remoted call latency (virtual ns), including backoff.", telemetry.DefaultLatencyBuckets()),
@@ -207,8 +253,14 @@ func (r *Runtime) Telemetry() *telemetry.Registry { return r.tel }
 func (r *Runtime) Clock() *vtime.Clock { return r.clock }
 
 // Device returns the accelerator model (for experiment instrumentation;
-// kernel-side code should only touch it through Lib).
+// kernel-side code should only touch it through Lib). On a multi-device
+// runtime this is pool device 0.
 func (r *Runtime) Device() *gpu.Device { return r.device }
+
+// Pool returns the device pool (size 1 on a default runtime). It also
+// satisfies batcher.PoolRuntime, letting the batcher steer flushes across
+// devices.
+func (r *Runtime) Pool() *gpupool.Pool { return r.pool }
 
 // Lib returns lakeLib, the kernel-side accelerator API stubs.
 func (r *Runtime) Lib() *remoting.Lib { return r.lib }
@@ -323,11 +375,15 @@ type Stats struct {
 // Stats snapshots the runtime counters.
 func (r *Runtime) Stats() Stats {
 	calls, channel := r.lib.Stats()
+	var launches int64
+	for _, dev := range r.pool.Devices() {
+		launches += dev.Launches()
+	}
 	return Stats{
 		RemotedCalls:      calls,
 		ChannelTime:       channel,
 		DaemonHandled:     r.daemon.Handled(),
-		KernelLaunches:    r.device.Launches(),
+		KernelLaunches:    launches,
 		ShmUsed:           r.region.Used(),
 		VirtualTime:       r.clock.Now(),
 		DaemonExecuted:    r.daemon.Executed(),

@@ -9,17 +9,18 @@ import (
 // "LAKE" (async) vs "LAKE (sync.)" split. Mirrors cuStreamCreate /
 // cuMemcpyHtoDAsync / cuLaunchKernel-on-stream / cuStreamSynchronize.
 
-// StreamCreate creates a stream owned by ctx's client.
+// StreamCreate creates a stream owned by ctx's client, on the context's
+// placed device.
 func (a *API) StreamCreate(ctx uint64) (uint64, Result) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	client, ok := a.ctxs[ctx]
+	ci, ok := a.ctxs[ctx]
 	if !ok {
 		return 0, ErrInvalidContext
 	}
 	h := a.nextStream
 	a.nextStream++
-	a.streams[h] = a.dev.NewStream(client)
+	a.streams[h] = ci.dev.NewStream(ci.client)
 	return h, Success
 }
 
@@ -52,7 +53,7 @@ func (a *API) MemcpyHtoDAsync(dst gpu.DevPtr, src []byte, stream uint64) Result 
 	if r != Success {
 		return r
 	}
-	buf, err := a.dev.Bytes(dst)
+	buf, err := a.Bytes(dst)
 	if err != nil || len(src) > len(buf) {
 		return ErrInvalidValue
 	}
@@ -67,7 +68,7 @@ func (a *API) MemcpyDtoHAsync(dst []byte, src gpu.DevPtr, stream uint64) Result 
 	if r != Success {
 		return r
 	}
-	buf, err := a.dev.Bytes(src)
+	buf, err := a.Bytes(src)
 	if err != nil || len(dst) > len(buf) {
 		return ErrInvalidValue
 	}
@@ -99,7 +100,7 @@ func (a *API) LaunchKernelAsync(ctx, fn, stream uint64, args []uint64) Result {
 	var launchErr error
 	s.EnqueueCompute(flops, func() {
 		if k.Body != nil {
-			launchErr = k.Body(a.dev, args)
+			launchErr = k.Body(s.Device(), args)
 		}
 	})
 	if launchErr != nil {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lakego/internal/telemetry"
@@ -28,7 +29,24 @@ import (
 
 // DevPtr is an opaque device memory address, as returned by allocation.
 // Address 0 is never valid.
+//
+// In a multi-device pool the top DevPtrOrdinalShift bits carry the owning
+// device's ordinal, so pointers are globally unique and self-describing:
+// any layer holding only a DevPtr (the daemon's batched-infer dispatch, the
+// CUDA API's copy routing) can recover which device backs it. Device 0's
+// pointers are bit-identical to the single-device layout.
 type DevPtr uint64
+
+// DevPtrOrdinalShift is the bit position of the device ordinal inside a
+// DevPtr; the low 48 bits are the per-device address space (≫ any modeled
+// device memory).
+const DevPtrOrdinalShift = 48
+
+// MaxDevices bounds pool size (the ordinal must fit above the shift).
+const MaxDevices = 1 << (64 - DevPtrOrdinalShift)
+
+// DevPtrOrdinal extracts the owning device's ordinal from a pointer.
+func DevPtrOrdinal(p DevPtr) int { return int(uint64(p) >> DevPtrOrdinalShift) }
 
 // ErrOutOfMemory is returned when device memory is exhausted.
 var ErrOutOfMemory = errors.New("gpu: out of device memory")
@@ -80,8 +98,9 @@ type busySpan struct {
 // Device is one simulated accelerator. All methods are safe for concurrent
 // use.
 type Device struct {
-	spec  Spec
-	clock *vtime.Clock
+	spec    Spec
+	clock   *vtime.Clock
+	ordinal int
 
 	mu        sync.Mutex
 	mem       map[DevPtr][]byte
@@ -90,6 +109,12 @@ type Device struct {
 	busyUntil time.Duration
 	spans     []busySpan // recent busy intervals, pruned lazily
 	launches  int64
+	// maxWindow is the largest window any Utilization query has asked for;
+	// the span-prune horizon tracks it so long-window queries stay accurate.
+	maxWindow time.Duration
+
+	copies    atomic.Int64
+	copyBytes atomic.Int64
 
 	tel Telemetry
 }
@@ -120,22 +145,44 @@ func (d *Device) SetTelemetry(tel Telemetry) {
 // ObserveCopy records one host<->device DMA of n bytes taking d (virtual
 // time). The CUDA API layer calls it when charging transfers.
 func (d *Device) ObserveCopy(n int64, took time.Duration) {
+	d.copies.Add(1)
+	d.copyBytes.Add(n)
 	d.tel.CopyTime.ObserveDuration(took)
 	d.tel.CopyBytes.Add(n)
 }
 
+// Copies reports the device's DMA accounting: number of host<->device
+// transfers and total bytes moved. Pool-level aggregated queries read it.
+func (d *Device) Copies() (n, bytes int64) {
+	return d.copies.Load(), d.copyBytes.Load()
+}
+
 // New creates a device with the given spec on the shared clock.
 func New(spec Spec, clock *vtime.Clock) *Device {
+	return NewIndexed(spec, clock, 0)
+}
+
+// NewIndexed creates device number ordinal of a multi-device pool. The
+// ordinal is stamped into every DevPtr the device allocates (see DevPtr);
+// ordinal 0 reproduces New's single-device pointer layout exactly.
+func NewIndexed(spec Spec, clock *vtime.Clock, ordinal int) *Device {
+	if ordinal < 0 || ordinal >= MaxDevices {
+		panic(fmt.Sprintf("gpu: device ordinal %d out of range [0, %d)", ordinal, MaxDevices))
+	}
 	return &Device{
-		spec:  spec,
-		clock: clock,
-		mem:   make(map[DevPtr][]byte),
-		next:  0x1000,
+		spec:    spec,
+		clock:   clock,
+		ordinal: ordinal,
+		mem:     make(map[DevPtr][]byte),
+		next:    DevPtr(uint64(ordinal)<<DevPtrOrdinalShift | 0x1000),
 	}
 }
 
 // Spec returns the device's hardware model.
 func (d *Device) Spec() Spec { return d.spec }
+
+// Ordinal returns the device's pool index (0 for a single device).
+func (d *Device) Ordinal() int { return d.ordinal }
 
 // Clock returns the virtual clock the device advances.
 func (d *Device) Clock() *vtime.Clock { return d.clock }
@@ -289,8 +336,27 @@ func (d *Device) BusyUntil() time.Duration {
 
 const utilizationHistory = 5 * time.Second
 
+// SetUtilizationRetention guarantees busy spans are retained for at least
+// window before pruning, even if no Utilization query that wide has run yet.
+// Callers that know they will sample a long trailing window can arm it up
+// front instead of relying on the first query to grow the horizon.
+func (d *Device) SetUtilizationRetention(window time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if window > d.maxWindow {
+		d.maxWindow = window
+	}
+}
+
 func (d *Device) pruneLocked(now time.Duration) {
-	cutoff := now - utilizationHistory
+	// The horizon must cover the widest window any caller samples: pruning
+	// at a fixed history while a wider Utilization window is in use would
+	// silently undercount busy time and flip the Fig 3 policy.
+	horizon := utilizationHistory
+	if d.maxWindow > horizon {
+		horizon = d.maxWindow
+	}
+	cutoff := now - horizon
 	i := 0
 	for i < len(d.spans) && d.spans[i].end < cutoff {
 		i++
@@ -309,6 +375,11 @@ func (d *Device) Utilization(window time.Duration, client string) float64 {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if window > d.maxWindow {
+		// Remember the widest requested window (pre-clamp) so future prunes
+		// keep enough history to answer it accurately.
+		d.maxWindow = window
+	}
 	now := d.clock.Now()
 	from := now - window
 	if from < 0 {

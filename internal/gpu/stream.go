@@ -28,6 +28,9 @@ func (d *Device) NewStream(client string) *Stream {
 	return &Stream{dev: d, client: client}
 }
 
+// Device returns the device this stream's work executes on.
+func (s *Stream) Device() *Device { return s.dev }
+
 // enqueue appends an operation of the given modeled cost to the stream's
 // timeline and returns its completion instant. The device records the busy
 // span for utilization accounting but the caller's clock does not advance.

@@ -28,10 +28,42 @@ const SamplingWindow = 50 * time.Millisecond
 // DeviceGetUtilizationRates reports device utilization over the trailing
 // sampling window, like nvmlDeviceGetUtilizationRates.
 func DeviceGetUtilizationRates(dev *gpu.Device) Utilization {
-	u := dev.Utilization(SamplingWindow, "")
+	return DeviceGetUtilizationRatesWindow(dev, SamplingWindow)
+}
+
+// DeviceGetUtilizationRatesWindow is DeviceGetUtilizationRates over an
+// explicit trailing window. Long-horizon experiments (and the pool's
+// placement policies) sample wider windows than NVML's default period.
+func DeviceGetUtilizationRatesWindow(dev *gpu.Device, window time.Duration) Utilization {
+	u := dev.Utilization(window, "")
 	memFrac := float64(dev.MemUsed()) / float64(dev.Spec().MemoryBytes)
 	return Utilization{
 		GPU:    int(u*100 + 0.5),
+		Memory: int(memFrac*100 + 0.5),
+	}
+}
+
+// AggregateUtilizationRates folds per-device readings into one pool-wide
+// figure: GPU is the mean busy percentage across devices (an idle device
+// pulls the aggregate down, signalling spare capacity), Memory is total
+// used over total capacity.
+func AggregateUtilizationRates(devs []*gpu.Device) Utilization {
+	if len(devs) == 0 {
+		return Utilization{}
+	}
+	var gpuSum float64
+	var used, capacity int64
+	for _, dev := range devs {
+		gpuSum += dev.Utilization(SamplingWindow, "")
+		used += dev.MemUsed()
+		capacity += dev.Spec().MemoryBytes
+	}
+	var memFrac float64
+	if capacity > 0 {
+		memFrac = float64(used) / float64(capacity)
+	}
+	return Utilization{
+		GPU:    int(gpuSum/float64(len(devs))*100 + 0.5),
 		Memory: int(memFrac*100 + 0.5),
 	}
 }

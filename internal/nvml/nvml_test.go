@@ -56,6 +56,73 @@ func TestMemoryUtilizationTracksAllocations(t *testing.T) {
 	}
 }
 
+// TestLongWindowSurvivesPruning regresses the fixed-horizon pruning bug:
+// busy spans used to be discarded after a constant 5s history regardless of
+// the windows callers sample, so a long-window query issued after a prune
+// undercounted busy time (and could flip the Fig 3 policy). The prune
+// horizon must track the widest window ever queried.
+func TestLongWindowSurvivesPruning(t *testing.T) {
+	const longWindow = 8 * time.Second
+	clk := vtime.New()
+	dev := gpu.New(gpu.DefaultSpec(), clk)
+
+	// A tenant occupies the device for the first 3.5 virtual seconds.
+	dev.OccupySpan("tenant", 0, 3500*time.Millisecond)
+	clk.AdvanceTo(3500 * time.Millisecond)
+
+	if u := DeviceGetUtilizationRates(dev); u.GPU != 100 {
+		t.Fatalf("short-window GPU util = %d, want 100 while tenant is busy", u.GPU)
+	}
+	// This long-window query must arm span retention for its width.
+	if u := DeviceGetUtilizationRatesWindow(dev, longWindow); u.GPU != 100 {
+		t.Fatalf("long-window GPU util = %d, want 100 (busy since boot)", u.GPU)
+	}
+
+	// Jump well past the fixed 5s history and record fresh activity; the
+	// prune this triggers used to drop the 3.5s tenant span.
+	clk.AdvanceTo(9050 * time.Millisecond)
+	dev.OccupySpan("tenant", 9000*time.Millisecond, 9050*time.Millisecond)
+
+	// Trailing 8s window [1.05s, 9.05s): busy (3.5-1.05)+(9.05-9.0) = 2.5s
+	// of 8s = 31%. Pre-fix the early span is pruned and this reads 1.
+	if u := DeviceGetUtilizationRatesWindow(dev, longWindow); u.GPU != 31 {
+		t.Fatalf("long-window GPU util after prune = %d, want 31", u.GPU)
+	}
+	// The short window still sees only the fresh span: fully busy.
+	if u := DeviceGetUtilizationRates(dev); u.GPU != 100 {
+		t.Fatalf("short-window GPU util after prune = %d, want 100", u.GPU)
+	}
+}
+
+// TestAggregateUtilizationRates pins the pool-wide fold: mean GPU busy
+// percentage, memory as total used over total capacity.
+func TestAggregateUtilizationRates(t *testing.T) {
+	clk := vtime.New()
+	spec := gpu.DefaultSpec()
+	spec.MemoryBytes = 1000
+	devs := []*gpu.Device{
+		gpu.NewIndexed(spec, clk, 0),
+		gpu.NewIndexed(spec, clk, 1),
+		gpu.NewIndexed(spec, clk, 2),
+		gpu.NewIndexed(spec, clk, 3),
+	}
+	clk.Advance(time.Second)
+	devs[0].OccupySpan("tenant", time.Second-SamplingWindow, time.Second)
+	if _, err := devs[1].Alloc(500); err != nil {
+		t.Fatal(err)
+	}
+	u := AggregateUtilizationRates(devs)
+	if u.GPU != 25 {
+		t.Fatalf("aggregate GPU util = %d, want 25 (one of four devices busy)", u.GPU)
+	}
+	if u.Memory != 13 {
+		t.Fatalf("aggregate Memory util = %d, want 13 (500 of 4000 bytes)", u.Memory)
+	}
+	if got := AggregateUtilizationRates(nil); got != (Utilization{}) {
+		t.Fatalf("aggregate over empty pool = %+v, want zero", got)
+	}
+}
+
 func TestClientUtilizationSplit(t *testing.T) {
 	clk := vtime.New()
 	dev := gpu.New(gpu.DefaultSpec(), clk)

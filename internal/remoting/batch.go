@@ -163,8 +163,11 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 		resp.Result = int32(cuda.ErrInvalidValue)
 		return resp
 	}
-	inMem, errIn := d.api.Device().Bytes(spec.DevIn)
-	outMem, errOut := d.api.Device().Bytes(spec.DevOut)
+	// Staging pointers are routed to their owning device by the ordinal tag
+	// every DevPtr carries; the flush placement already picked the device by
+	// choosing which spec to send.
+	inMem, errIn := d.api.Bytes(spec.DevIn)
+	outMem, errOut := d.api.Bytes(spec.DevOut)
 	if errIn != nil || errOut != nil {
 		resp.Result = int32(cuda.ErrInvalidValue)
 		return resp
@@ -209,7 +212,7 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 			copy(inMem[cursor:cursor+n], view)
 			cursor += n
 		}
-		d.api.ChargeTransfer(int64(cursor))
+		d.api.ChargeTransferFor(spec.DevIn, int64(cursor))
 
 		lt := d.tel.Tracer.Current().StageTimer("launch", d.tr.Clock().Now())
 		launch := d.api.LaunchKernel(spec.Ctx, spec.Fn,
@@ -231,7 +234,7 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 				cursor += n
 				total += n
 			}
-			d.api.ChargeTransfer(int64(total))
+			d.api.ChargeTransferFor(spec.DevOut, int64(total))
 		}
 	}
 

@@ -364,7 +364,15 @@ func (d *Daemon) execute(cmd *Command) *Response {
 		resp.Blob = []byte(name)
 
 	case APICuCtxCreate:
-		h, r := d.api.CtxCreate(cmd.Name)
+		// Optional arg 0 pins the context to device ordinal-1; 0 (or no
+		// args, the single-device wire shape) lets placement choose.
+		var h uint64
+		var r cuda.Result
+		if ord := arg(cmd, 0); ord > 0 {
+			h, r = d.api.CtxCreateOnDevice(cmd.Name, int(ord-1))
+		} else {
+			h, r = d.api.CtxCreate(cmd.Name)
+		}
 		resp.Result = int32(r)
 		resp.Vals = []uint64{h}
 
@@ -372,7 +380,15 @@ func (d *Daemon) execute(cmd *Command) *Response {
 		resp.Result = int32(d.api.CtxDestroy(arg(cmd, 0)))
 
 	case APICuMemAlloc:
-		ptr, r := d.api.MemAlloc(int64(arg(cmd, 0)))
+		// Optional arg 1 pins the device ordinal; absent (the single-device
+		// wire shape) allocates in the current context, per cuMemAlloc.
+		var ptr gpu.DevPtr
+		var r cuda.Result
+		if len(cmd.Args) >= 2 {
+			ptr, r = d.api.MemAllocOnDevice(int64(arg(cmd, 0)), int(arg(cmd, 1)))
+		} else {
+			ptr, r = d.api.MemAlloc(int64(arg(cmd, 0)))
+		}
 		resp.Result = int32(r)
 		resp.Vals = []uint64{uint64(ptr)}
 
@@ -408,9 +424,21 @@ func (d *Daemon) execute(cmd *Command) *Response {
 		resp.Result = int32(d.api.CtxSynchronize(arg(cmd, 0)))
 
 	case APINvmlUtilization:
-		u := nvml.DeviceGetUtilizationRates(d.api.Device())
+		// Aggregated over the pool (identical to the single-device reading
+		// when the pool has one device).
+		u := nvml.AggregateUtilizationRates(d.api.Devices())
 		d.tel.GPUUtil.Set(int64(u.GPU))
 		d.tel.MemUtil.Set(int64(u.Memory))
+		resp.Vals = []uint64{uint64(u.GPU), uint64(u.Memory)}
+
+	case APINvmlDeviceUtilization:
+		devs := d.api.Devices()
+		ord := int(arg(cmd, 0))
+		if ord < 0 || ord >= len(devs) {
+			resp.Result = int32(cuda.ErrInvalidValue)
+			break
+		}
+		u := nvml.DeviceGetUtilizationRates(devs[ord])
 		resp.Vals = []uint64{uint64(u.GPU), uint64(u.Memory)}
 
 	case APICuMemGetInfo:

@@ -397,6 +397,15 @@ func (l *Lib) CuCtxCreate(client string) (uint64, cuda.Result) {
 	return val(resp, 0), r
 }
 
+// CuCtxCreateOnDevice remotes cuCtxCreate pinned to a device ordinal,
+// bypassing lakeD's placement policy. The ordinal travels as ordinal+1 so
+// the zero value (and the argless single-device wire shape) still means
+// "let placement choose".
+func (l *Lib) CuCtxCreateOnDevice(client string, ord int) (uint64, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuCtxCreate, Name: client, Args: []uint64{uint64(ord) + 1}})
+	return val(resp, 0), r
+}
+
 // CuCtxDestroy remotes cuCtxDestroy.
 func (l *Lib) CuCtxDestroy(ctx uint64) cuda.Result {
 	r, _ := l.callRes(&Command{API: APICuCtxDestroy, Args: []uint64{ctx}})
@@ -406,6 +415,13 @@ func (l *Lib) CuCtxDestroy(ctx uint64) cuda.Result {
 // CuMemAlloc remotes cuMemAlloc.
 func (l *Lib) CuMemAlloc(size int64) (gpu.DevPtr, cuda.Result) {
 	r, resp := l.callRes(&Command{API: APICuMemAlloc, Args: []uint64{uint64(size)}})
+	return gpu.DevPtr(val(resp, 0)), r
+}
+
+// CuMemAllocOnDevice remotes cuMemAlloc against an explicit device
+// ordinal; the returned pointer carries the ordinal tag.
+func (l *Lib) CuMemAllocOnDevice(size int64, ord int) (gpu.DevPtr, cuda.Result) {
+	r, resp := l.callRes(&Command{API: APICuMemAlloc, Args: []uint64{uint64(size), uint64(ord)}})
 	return gpu.DevPtr(val(resp, 0)), r
 }
 
@@ -507,6 +523,13 @@ func (l *Lib) CuCtxSynchronize(ctx uint64) cuda.Result {
 // (Fig 3's "LAKE-remoted nvml API").
 func (l *Lib) NvmlGetUtilization() (gpuPct, memPct int, r cuda.Result) {
 	r, resp := l.callRes(&Command{API: APINvmlUtilization})
+	return int(val(resp, 0)), int(val(resp, 1)), r
+}
+
+// NvmlGetDeviceUtilization remotes a single pool device's utilization by
+// ordinal (NvmlGetUtilization aggregates across the pool).
+func (l *Lib) NvmlGetDeviceUtilization(ord int) (gpuPct, memPct int, r cuda.Result) {
+	r, resp := l.callRes(&Command{API: APINvmlDeviceUtilization, Args: []uint64{uint64(ord)}})
 	return int(val(resp, 0)), int(val(resp, 1)), r
 }
 

@@ -58,6 +58,9 @@ const (
 	// restart generation and handled-command count. It exercises the full
 	// wire path, so a dead daemon or broken channel fails it like any call.
 	APIPing
+	// APINvmlDeviceUtilization queries one pool device's utilization by
+	// ordinal (APINvmlUtilization aggregates across the pool).
+	APINvmlDeviceUtilization
 )
 
 var apiNames = map[APIID]string{
@@ -85,6 +88,8 @@ var apiNames = map[APIID]string{
 	APICuMemGetInfo:        "cuMemGetInfo",
 	APIBatchedInfer:        "lakeBatchedInfer",
 	APIPing:                "lakePing",
+
+	APINvmlDeviceUtilization: "nvmlDeviceGetUtilizationRates(device)",
 }
 
 func (id APIID) String() string {

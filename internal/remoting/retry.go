@@ -54,7 +54,13 @@ func (rp RetryPolicy) withDefaults() RetryPolicy {
 		rp.BaseBackoff = d.BaseBackoff
 	}
 	if rp.MaxBackoff < rp.BaseBackoff {
+		// Clamp to max(BaseBackoff, default): a caller with a base above the
+		// default 2ms ceiling must not have every wait truncated below its
+		// own first backoff.
 		rp.MaxBackoff = d.MaxBackoff
+		if rp.MaxBackoff < rp.BaseBackoff {
+			rp.MaxBackoff = rp.BaseBackoff
+		}
 	}
 	if rp.Multiplier < 1 {
 		rp.Multiplier = d.Multiplier

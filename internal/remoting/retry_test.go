@@ -92,6 +92,38 @@ func TestRetryPolicyWithDefaults(t *testing.T) {
 	}
 }
 
+// TestWithDefaultsMaxBackoffNeverBelowBase regresses the clamp bug: a
+// BaseBackoff above the 2ms default ceiling with MaxBackoff unset used to
+// leave MaxBackoff < BaseBackoff, truncating every wait below the caller's
+// own first backoff.
+func TestWithDefaultsMaxBackoffNeverBelowBase(t *testing.T) {
+	d := DefaultRetryPolicy()
+	cases := []struct {
+		name    string
+		policy  RetryPolicy
+		wantMax time.Duration
+	}{
+		{"base above default cap, max unset", RetryPolicy{BaseBackoff: 5 * time.Millisecond}, 5 * time.Millisecond},
+		{"base equals default cap, max unset", RetryPolicy{BaseBackoff: d.MaxBackoff}, d.MaxBackoff},
+		{"base below default cap, max unset", RetryPolicy{BaseBackoff: 50 * time.Microsecond}, d.MaxBackoff},
+		{"explicit max below base", RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Millisecond}, 10 * time.Millisecond},
+		{"explicit max above base kept", RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 20 * time.Millisecond}, 20 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		got := tc.policy.withDefaults()
+		if got.MaxBackoff != tc.wantMax {
+			t.Errorf("%s: MaxBackoff = %v, want %v", tc.name, got.MaxBackoff, tc.wantMax)
+		}
+		if got.MaxBackoff < got.BaseBackoff {
+			t.Errorf("%s: MaxBackoff %v < BaseBackoff %v after withDefaults", tc.name, got.MaxBackoff, got.BaseBackoff)
+		}
+		// The first wait must be the full base, never truncated by the cap.
+		if w := got.BackoffFor(0, 0.5); w < got.BaseBackoff {
+			t.Errorf("%s: first backoff %v < base %v", tc.name, w, got.BaseBackoff)
+		}
+	}
+}
+
 // healHook clears the fault plane on its first invocation and reports the
 // daemon recovered, modeling a supervisor fixing the channel.
 type healHook struct {

@@ -114,7 +114,10 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(math.Ceil(q * float64(n)))
+	// The rank is ceil(q*n), but the product can carry float error above the
+	// exact integer (0.07*100 = 7.000000000000001) and ceil would then skip
+	// to the next bucket; shave an epsilon before rounding up.
+	target := int64(math.Ceil(q*float64(n) - 1e-9))
 	if target < 1 {
 		target = 1
 	}

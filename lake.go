@@ -33,6 +33,7 @@ import (
 	"lakego/internal/faults"
 	"lakego/internal/features"
 	"lakego/internal/gpu"
+	"lakego/internal/gpupool"
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/shm"
@@ -116,6 +117,37 @@ type (
 
 // ErrBackpressure is the batcher's reject-with-retry result.
 var ErrBackpressure = batcher.ErrBackpressure
+
+// Multi-GPU device pool types (internal/gpupool): set Config.NumDevices (or
+// Config.DeviceSpecs for a heterogeneous pool) and Config.PoolPolicy to boot
+// a runtime over several modeled accelerators; placement draws only from the
+// pool's seeded PRNG and the virtual clock, so fixed-seed multi-device runs
+// are bit-identical.
+type (
+	// GPUPool is the runtime's device pool, reachable via Runtime.Pool().
+	GPUPool = gpupool.Pool
+	// PoolPolicy selects the placement policy for new contexts.
+	PoolPolicy = gpupool.Policy
+	// PoolConfig parameterizes a standalone gpupool.New.
+	PoolConfig = gpupool.Config
+	// DeviceAccounting is one device's per-ordinal copy/launch counters.
+	DeviceAccounting = gpupool.DeviceAccounting
+)
+
+// Placement policies for PoolPolicy.
+const (
+	// PoolRoundRobin cycles context placement across devices.
+	PoolRoundRobin = gpupool.RoundRobin
+	// PoolLeastOutstanding places on the device with the smallest backlog.
+	PoolLeastOutstanding = gpupool.LeastOutstanding
+	// PoolContentionAware places on the least NVML-utilized device,
+	// breaking ties by backlog then seeded PRNG (Fig 3 per device).
+	PoolContentionAware = gpupool.ContentionAware
+)
+
+// ParsePoolPolicy parses a -pool-policy flag value ("round-robin",
+// "least-outstanding", "contention-aware", or the short forms rr/lo/ca).
+func ParsePoolPolicy(s string) (PoolPolicy, error) { return gpupool.ParsePolicy(s) }
 
 // Observability plane types (internal/telemetry): every runtime carries a
 // metrics + tracing registry (disable with Config.DisableTelemetry) exposed

@@ -7,7 +7,10 @@
 package lake_test
 
 import (
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -18,6 +21,34 @@ import (
 	"lakego/internal/mllb"
 	"lakego/internal/nn"
 )
+
+// dumpOnFailure arms the kernel-style post-mortem: if the test fails and
+// LAKE_CHAOS_DUMP_DIR is set (the CI chaos job sets it and uploads the
+// directory as a workflow artifact), the runtime's flight recorder is
+// snapshotted to <dir>/<TestName>.bin for offline analysis with
+// `go run ./cmd/laketrace <file>`.
+func dumpOnFailure(t *testing.T, rt *lake.Runtime) {
+	t.Cleanup(func() {
+		dir := os.Getenv("LAKE_CHAOS_DUMP_DIR")
+		if dir == "" || !t.Failed() {
+			return
+		}
+		rec := rt.FlightRecorder()
+		if rec == nil {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("flight-recorder dump: %v", err)
+			return
+		}
+		path := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_")+".bin")
+		if err := os.WriteFile(path, rec.Snapshot("test-failure").Encode(), 0o644); err != nil {
+			t.Logf("flight-recorder dump: %v", err)
+			return
+		}
+		t.Logf("flight-recorder dump written to %s (analyze with: go run ./cmd/laketrace %s)", path, path)
+	})
+}
 
 // chaosStack is one booted runtime carrying the three evaluation workloads.
 type chaosStack struct {
@@ -36,6 +67,7 @@ func newChaosStack(t *testing.T, mix *lake.FaultMix) *chaosStack {
 		t.Fatal(err)
 	}
 	t.Cleanup(rt.Close)
+	dumpOnFailure(t, rt)
 	lin, err := linnos.NewPredictor(rt, linnos.Base, nn.New(11, linnos.Base.Sizes()...))
 	if err != nil {
 		t.Fatal(err)
@@ -302,6 +334,7 @@ func TestChaosCrashMidBatchRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
+	dumpOnFailure(t, rt)
 
 	net := nn.New(31, 8, 16, 2)
 	b := rt.NewBatcher(lake.DefaultBatcherConfig())

@@ -8,6 +8,11 @@
 //	benchdiff -update BENCH_BASELINE.json bench.txt   # refresh the baseline
 //	benchdiff -baseline BENCH_BASELINE.json bench.txt # gate: exit 1 on regression
 //
+// The input may also be an already-reduced JSON results file in the
+// baseline schema, such as `lakebench -results BENCH_RESULTS.json` emits:
+//
+//	benchdiff -baseline prev_results.json BENCH_RESULTS.json
+//
 // Comparison is throughput-oriented: each metric's current/baseline ratio
 // is normalized so >1 means faster (higher-is-better metrics such as the
 // benchmarks' virtual req/s series count up; lower-is-better ones such as
@@ -77,6 +82,35 @@ func parseBench(r io.Reader) (map[string]map[string][]float64, error) {
 		}
 	}
 	return out, nil
+}
+
+// loadCurrent parses the run-under-test metrics from either input format:
+// `go test -bench` text reduced to per-metric medians, or an
+// already-reduced JSON results file in the Baseline schema (what
+// `lakebench -results` emits), sniffed by its leading brace.
+func loadCurrent(r io.Reader) (map[string]map[string]float64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			var res Baseline
+			if err := json.Unmarshal(data, &res); err != nil {
+				return nil, fmt.Errorf("benchdiff: bad JSON results input: %w", err)
+			}
+			return res.Benchmarks, nil
+		}
+		break
+	}
+	samples, err := parseBench(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, err
+	}
+	return medians(samples), nil
 }
 
 // median reduces one metric's -count samples.
@@ -188,16 +222,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer f.Close()
 		in = f
 	}
-	samples, err := parseBench(in)
+	cur, err := loadCurrent(in)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	if len(samples) == 0 {
+	if len(cur) == 0 {
 		fmt.Fprintln(stderr, "benchdiff: no benchmark results in input")
 		return 2
 	}
-	cur := medians(samples)
 
 	if *updatePath != "" {
 		b := Baseline{Note: *note, Benchmarks: cur}

@@ -129,6 +129,60 @@ func TestCompareDirections(t *testing.T) {
 	}
 }
 
+// TestJSONResultsInput covers the lakebench -results handoff: the input may
+// be an already-reduced JSON file in the Baseline schema instead of
+// `go test -bench` text, and it gates the same way.
+func TestJSONResultsInput(t *testing.T) {
+	dir := t.TempDir()
+	writeResults := func(name string, reqPerS, virtualNs float64) string {
+		b := Baseline{
+			Note: "test results",
+			Benchmarks: map[string]map[string]float64{
+				"Lakebench/run": {"virtual_req_per_s": reqPerS, "virtual_ns": virtualNs},
+			},
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	baseline := filepath.Join(dir, "base.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-update", baseline, writeResults("good.json", 40000, 1e9)}, &out, &errb); code != 0 {
+		t.Fatalf("update from JSON results exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, writeResults("same.json", 40000, 1e9)}, &out, &errb); code != 0 {
+		t.Fatalf("identical JSON results failed the gate (exit %d): %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "benchdiff: OK") {
+		t.Fatalf("missing OK line:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	// 20% virtual-throughput regression must trip the gate, as with text input.
+	if code := run([]string{"-baseline", baseline, writeResults("bad.json", 32000, 1.25e9)}, &out, &errb); code != 1 {
+		t.Fatalf("regressed JSON results: exit %d, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	// Malformed JSON is rejected, not silently treated as empty bench text.
+	broken := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(broken, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, broken}, &out, &errb); code != 2 {
+		t.Fatalf("malformed JSON: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bad JSON results input") {
+		t.Fatalf("unexpected diagnostic: %s", errb.String())
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(nil, &out, &errb); code != 2 {

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	lake "lakego"
+)
+
+// TestWriteResultsDeterministic pins the -results contract: the file is in
+// the BENCH_BASELINE.json schema, carries the run and per-stage metric
+// groups, and — being virtual-clock derived — is byte-identical run over
+// run, which is what makes a run-over-run benchdiff trajectory meaningful.
+func TestWriteResultsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := writeResults(a, 1, lake.PoolContentionAware); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeResults(b, 1, lake.PoolContentionAware); err != nil {
+		t.Fatal(err)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatalf("results differ across identical runs:\n%s\nvs\n%s", da, db)
+	}
+
+	var res benchResults
+	if err := json.Unmarshal(da, &res); err != nil {
+		t.Fatalf("results not in the baseline schema: %v", err)
+	}
+	run, ok := res.Benchmarks["Lakebench/run"]
+	if !ok {
+		t.Fatalf("missing Lakebench/run group: %v", res.Benchmarks)
+	}
+	if run["remoted_calls"] <= 0 || run["virtual_req_per_s"] <= 0 {
+		t.Fatalf("run metrics not populated: %v", run)
+	}
+	stages, ok := res.Benchmarks["Lakebench/stages"]
+	if !ok {
+		t.Fatalf("missing Lakebench/stages group: %v", res.Benchmarks)
+	}
+	for _, key := range []string{"calls", "per_call_ns", "exec_ns_mean", "boundary_ns_mean"} {
+		if stages[key] <= 0 {
+			t.Fatalf("stage metric %s not populated: %v", key, stages)
+		}
+	}
+}

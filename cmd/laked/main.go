@@ -7,9 +7,10 @@
 //
 // With -telemetry-addr the daemon also serves its observability plane over
 // HTTP: /metrics (Prometheus text), /metrics.json (structured snapshot),
-// /spans.json (per-call trace timelines, populated when -trace is set) and
-// /debug/pprof. With -serve it stays up after the demo burst so the
-// endpoints can be scraped.
+// /spans.json (per-call trace timelines, populated when -trace is set),
+// /flightrec.dump and /flightrec.json (on-demand flight-recorder snapshots,
+// binary and JSON — feed either to cmd/laketrace) and /debug/pprof. With
+// -serve it stays up after the demo burst so the endpoints can be scraped.
 package main
 
 import (
@@ -57,12 +58,35 @@ func serveTelemetry(rt *lake.Runtime, addr string) {
 		}
 		_, _ = w.Write(b)
 	})
+	http.HandleFunc("/flightrec.dump", func(w http.ResponseWriter, req *http.Request) {
+		rec := rt.FlightRecorder()
+		if rec == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(rec.Snapshot("http").Encode())
+	})
+	http.HandleFunc("/flightrec.json", func(w http.ResponseWriter, req *http.Request) {
+		rec := rt.FlightRecorder()
+		if rec == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		b, err := rec.Snapshot("http").JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	})
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Fatalf("telemetry endpoint: %v", err)
 		}
 	}()
-	log.Printf("telemetry on http://%s/metrics (.json, /spans.json, /debug/pprof)", addr)
+	log.Printf("telemetry on http://%s/metrics (.json, /spans.json, /flightrec.{dump,json}, /debug/pprof)", addr)
 }
 
 func main() {

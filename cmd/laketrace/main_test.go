@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	lake "lakego"
+	"lakego/internal/cuda"
+)
+
+// produceDump boots an instrumented runtime, pushes a short remoted
+// workload through it, and snapshots the flight recorder — the same
+// artifact laked's /flightrec.dump endpoint serves.
+func produceDump(t *testing.T) *lake.FlightDump {
+	t.Helper()
+	cfg := lake.DefaultConfig()
+	cfg.TraceCalls = true
+	rt, err := lake.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rt.RegisterKernel(lake.VecAddKernel())
+	lib := rt.Lib()
+	ctx, r := lib.CuCtxCreate("laketrace-test")
+	if r != lake.Success {
+		t.Fatal(r)
+	}
+	mod, _ := lib.CuModuleLoad("kernels.cubin")
+	fn, r := lib.CuModuleGetFunction(mod, "vecadd")
+	if r != lake.Success {
+		t.Fatal(r)
+	}
+	const n = 32
+	size := int64(4 * n)
+	in, err := rt.Region().Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rt.Region().Alloc(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	if err := cuda.PutFloat32s(in.Bytes(), vals); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := lib.CuMemAlloc(size)
+	dc, _ := lib.CuMemAlloc(size)
+	for i := 0; i < 8; i++ {
+		if r := lib.CuMemcpyHtoDShm(da, in, size); r != lake.Success {
+			t.Fatal(r)
+		}
+		if r := lib.CuLaunchKernel(ctx, fn, []uint64{uint64(da), uint64(da), uint64(dc), uint64(n)}); r != lake.Success {
+			t.Fatal(r)
+		}
+		if r := lib.CuMemcpyDtoHShm(out, dc, size); r != lake.Success {
+			t.Fatal(r)
+		}
+	}
+	rec := rt.FlightRecorder()
+	if rec == nil {
+		t.Fatal("telemetry-enabled runtime has no flight recorder")
+	}
+	return rec.Snapshot("laketrace-test")
+}
+
+func TestLaketraceEndToEnd(t *testing.T) {
+	dump := produceDump(t)
+	dir := t.TempDir()
+
+	binPath := filepath.Join(dir, "dump.bin")
+	if err := os.WriteFile(binPath, dump.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes, err := dump.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "dump.json")
+	if err := os.WriteFile(jsonPath, jsonBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{binPath, jsonPath} {
+		var stdout, stderr bytes.Buffer
+		chromePath := filepath.Join(dir, "trace.json")
+		code := run([]string{"-tail", "0.9", "-calls", "-chrome", chromePath, path}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("laketrace %s exited %d: %s", path, code, stderr.String())
+		}
+		out := stdout.String()
+		for _, want := range []string{
+			"calls stitched", "cuLaunchKernel", "cuMemcpyHtoD",
+			"tail is dominated by", "wrote Chrome trace",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("laketrace %s output missing %q:\n%s", path, want, out)
+			}
+		}
+		// Every remoted call in this clean run must stitch completely:
+		// the summary reads "N calls stitched: N completed, N with ...".
+		var stitched, completed, complete int
+		line := out[strings.Index(out, "\n")+1:]
+		if _, err := fmt.Sscanf(line, "%d calls stitched: %d completed, %d",
+			&stitched, &completed, &complete); err != nil {
+			t.Fatalf("cannot parse summary line from %s:\n%s", path, out)
+		}
+		if stitched == 0 || stitched != completed || completed != complete {
+			t.Fatalf("clean run did not reconstruct all calls (%d/%d/%d):\n%s",
+				stitched, completed, complete, out)
+		}
+		chrome, err := os.ReadFile(chromePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(chrome, []byte(`"traceEvents"`)) || !bytes.Contains(chrome, []byte(`"ph": "X"`)) {
+			t.Fatalf("chrome trace from %s lacks trace_event records", path)
+		}
+	}
+}
+
+func TestLaketraceRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bogus")
+	if err := os.WriteFile(path, []byte("not a dump"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d for garbage input, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "not a flight-recorder dump") {
+		t.Fatalf("unexpected error output: %s", stderr.String())
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"lakego/internal/cuda"
+	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
 	"lakego/internal/policy"
@@ -184,6 +185,10 @@ type Batcher struct {
 	maxDelay                        atomic.Int64
 
 	tel Telemetry
+
+	// rec receives batcher-domain events and allocates per-request and
+	// per-flush trace IDs; nil-safe.
+	rec *flightrec.Recorder
 }
 
 // Telemetry is the batcher's instrument set; all fields may be nil.
@@ -210,6 +215,12 @@ type Telemetry struct {
 // construction, before any traffic.
 func (b *Batcher) SetTelemetry(tel Telemetry) {
 	b.tel = tel
+}
+
+// SetFlightRecorder attaches the flight recorder. Must be called during
+// runtime construction, before any traffic.
+func (b *Batcher) SetFlightRecorder(rec *flightrec.Recorder) {
+	b.rec = rec
 }
 
 // New creates a batcher on rt. Register models with RegisterModel, then
@@ -420,6 +431,11 @@ type Pending struct {
 	c     *Client
 	seq   uint64
 	count int
+	// tid is the request's flight-recorder trace ID (0 when untraced). It
+	// rides the coalesced wire frame so the member request's journey is
+	// reconstructable from a dump even though it never issued its own
+	// command.
+	tid uint64
 
 	inBuf, outBuf *shm.Buffer
 	enq           time.Duration
@@ -474,6 +490,10 @@ func (c *Client) Submit(modelName string, items [][]float32) (*Pending, error) {
 	b.requests.Add(1)
 	b.items.Add(int64(p.count))
 
+	if b.rec.Enabled() || b.tel.Tracer.Enabled() {
+		p.tid = b.rec.NextTraceID()
+	}
+
 	m.mu.Lock()
 	p.seq = m.nextSeq
 	m.nextSeq++
@@ -481,6 +501,8 @@ func (c *Client) Submit(modelName string, items [][]float32) (*Pending, error) {
 	m.queue = append(m.queue, p)
 	m.queuedItems += p.count
 	b.tel.QueueDepth.Add(int64(p.count))
+	b.rec.Emit(flightrec.DomainBatcher, flightrec.EvEnqueue,
+		p.tid, p.seq, 0, uint64(p.count), 0, 0)
 
 	var batch []*Pending
 	reason := flushFull

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"lakego/internal/cuda"
+	"lakego/internal/flightrec"
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/telemetry"
@@ -122,6 +123,19 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 		b.tel.QueueDelay.Observe(d)
 	}
 	b.tel.FlushItems.Observe(int64(items))
+	// One trace ID per flush: the remoted command, its daemon-side events,
+	// and the flush span all correlate under it, while each member request
+	// keeps its own ID (linked by flush_member events on both sides).
+	var ftid uint64
+	if b.rec.Enabled() || b.tel.Tracer.Enabled() {
+		ftid = b.rec.NextTraceID()
+	}
+	b.rec.Emit(flightrec.DomainBatcher, flightrec.EvFlushStart,
+		ftid, batch[0].seq, 0, uint64(len(batch)), uint64(reason), 0)
+	for _, p := range batch {
+		b.rec.Emit(flightrec.DomainBatcher, flightrec.EvFlushMember,
+			p.tid, p.seq, 0, ftid, uint64(p.count), 0)
+	}
 	var flushSpan *telemetry.Span
 	var ownSpan bool
 	if b.tel.Tracer.Enabled() {
@@ -129,7 +143,7 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 		// coalesce stage is the window spent forming the batch, and the
 		// nested CuBatchedInfer call below attaches its marshal / channel /
 		// dispatch / launch / demux stages to this same span.
-		flushSpan, ownSpan = b.tel.Tracer.StartSpan("flush/"+m.mc.Name, batch[0].seq, batch[0].enq)
+		flushSpan, ownSpan = b.tel.Tracer.StartSpan("flush/"+m.mc.Name, batch[0].seq, batch[0].enq, ftid)
 		flushSpan.AddStage("coalesce", batch[0].enq, flushAt, 0)
 	}
 	b.flushes.Add(1)
@@ -155,10 +169,11 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 		entries := make([]remoting.BatchEntry, len(batch))
 		for i, p := range batch {
 			entries[i] = remoting.BatchEntry{
-				Seq:    p.seq,
-				InOff:  uint64(p.inBuf.Offset()),
-				OutOff: uint64(p.outBuf.Offset()),
-				Count:  uint32(p.count),
+				Seq:     p.seq,
+				InOff:   uint64(p.inBuf.Offset()),
+				OutOff:  uint64(p.outBuf.Offset()),
+				Count:   uint32(p.count),
+				TraceID: p.tid,
 			}
 		}
 		// Per-flush placement: on a multi-device pool each launch goes to
@@ -167,7 +182,7 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 		if b.pool != nil {
 			spec = m.specs[b.pool.PlaceFlush(nil)]
 		}
-		per, r := b.rt.Lib().CuBatchedInfer(m.mc.Name, spec, entries)
+		per, r := b.rt.Lib().CuBatchedInferTraced(m.mc.Name, spec, entries, ftid)
 		switch r {
 		case cuda.Success:
 			perRes = per
@@ -192,6 +207,12 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 	if ownSpan {
 		b.tel.Tracer.FinishSpan(flushSpan, now)
 	}
+	var onGPU uint64
+	if ranOnGPU {
+		onGPU = 1
+	}
+	b.rec.Emit(flightrec.DomainBatcher, flightrec.EvFlushEnd,
+		ftid, batch[0].seq, 0, uint64(len(batch)), onGPU, 0)
 	if flushErr == nil && items > 0 {
 		// Per-item execution latency on the path that actually ran — the
 		// observed signal the Fig 3 policy can use in place of the model.

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"lakego/internal/faults"
+	"lakego/internal/flightrec"
 	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
@@ -130,6 +131,11 @@ type Transport struct {
 	sent, received int64
 
 	tel TransportTelemetry
+
+	// rec receives boundary-domain frame events; nil-safe. The recorder's
+	// installed frame peeker tags each event with the frame's trace ID and
+	// sequence without this package decoding (or importing) the protocol.
+	rec *flightrec.Recorder
 }
 
 // TransportTelemetry is the transport's instrument set. All fields may be
@@ -150,6 +156,12 @@ type TransportTelemetry struct {
 // construction, before any traffic: the hot paths read the set unlocked.
 func (t *Transport) SetTelemetry(tel TransportTelemetry) {
 	t.tel = tel
+}
+
+// SetFlightRecorder attaches the flight recorder. Must be called during
+// runtime construction, before any traffic.
+func (t *Transport) SetFlightRecorder(rec *flightrec.Recorder) {
+	t.rec = rec
 }
 
 // NewTransport creates a transport over channel kind k with the given queue
@@ -193,7 +205,7 @@ func (t *Transport) faultPlane() *faults.Plane {
 // semantics are preserved: cp is already a private copy of the caller's
 // message. A queue-full duplicate is silently shed, like an overrun socket
 // buffer.
-func (t *Transport) deliver(ch chan []byte, cp []byte) error {
+func (t *Transport) deliver(ch chan []byte, cp []byte, dir uint64) error {
 	frames, delay := t.faultPlane().OnMessage(cp)
 	if delay > 0 {
 		t.clock.Advance(delay)
@@ -206,6 +218,7 @@ func (t *Transport) deliver(ch chan []byte, cp []byte) error {
 				return nil // duplicate shed by a full queue: not an error
 			}
 			t.tel.QueueFull.Inc()
+			t.rec.EmitFrame(flightrec.EvQueueFull, cp, dir)
 			return fmt.Errorf("boundary: %s queue full", t.kind)
 		}
 	}
@@ -237,9 +250,10 @@ func (t *Transport) SendToUser(msg []byte) error {
 	if t.isClosed() {
 		return ErrClosed
 	}
+	t.rec.EmitFrame(flightrec.EvFrameSend, msg, dirToUser)
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
-	if err := t.deliver(t.toUser, cp); err != nil {
+	if err := t.deliver(t.toUser, cp, dirToUser); err != nil {
 		return err
 	}
 	t.mu.Lock()
@@ -249,11 +263,18 @@ func (t *Transport) SendToUser(msg []byte) error {
 	return nil
 }
 
+// dirToUser / dirToKernel tag boundary events with the frame's direction.
+const (
+	dirToUser   = 0
+	dirToKernel = 1
+)
+
 // RecvInUser delivers the next kernel->user message. ok is false when no
 // message is pending.
 func (t *Transport) RecvInUser() (msg []byte, ok bool) {
 	select {
 	case m := <-t.toUser:
+		t.rec.EmitFrame(flightrec.EvFrameRecv, m, dirToUser)
 		return m, true
 	default:
 		return nil, false
@@ -266,9 +287,10 @@ func (t *Transport) SendToKernel(msg []byte) error {
 	if t.isClosed() {
 		return ErrClosed
 	}
+	t.rec.EmitFrame(flightrec.EvFrameSend, msg, dirToKernel)
 	cp := make([]byte, len(msg))
 	copy(cp, msg)
-	return t.deliver(t.toKernel, cp)
+	return t.deliver(t.toKernel, cp, dirToKernel)
 }
 
 // RecvInKernel delivers the next user->kernel message.
@@ -279,6 +301,7 @@ func (t *Transport) RecvInKernel() (msg []byte, ok bool) {
 		t.received++
 		t.mu.Unlock()
 		t.tel.Received.Inc()
+		t.rec.EmitFrame(flightrec.EvFrameRecv, m, dirToKernel)
 		return m, true
 	default:
 		return nil, false

@@ -20,6 +20,7 @@ import (
 	"lakego/internal/cuda"
 	"lakego/internal/faults"
 	"lakego/internal/features"
+	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
 	"lakego/internal/policy"
@@ -74,6 +75,16 @@ type Config struct {
 	// Telemetry().Tracer().SetEnabled(true)): each remoted call records a
 	// marshal / channel / dispatch / launch / demux stage timeline.
 	TraceCalls bool
+	// DisableFlightRecorder boots without the always-on flight recorder.
+	// The recorder rides the telemetry switch: it is on whenever telemetry
+	// is on (its per-event cost is a cursor fetch-add plus nine atomic
+	// stores), and disabling either telemetry or this flag leaves every
+	// remoted command untraced — the wire stays byte-identical to the
+	// pre-recorder protocol.
+	DisableFlightRecorder bool
+	// FlightRecorderSize is the per-domain ring capacity in events (default
+	// flightrec.DefaultRingSize = 4096).
+	FlightRecorderSize int
 }
 
 // DefaultConfig mirrors the paper's deployment: Netlink command channel,
@@ -101,6 +112,7 @@ type Runtime struct {
 	plane     *faults.Plane
 	sup       *Supervisor
 	tel       *telemetry.Registry
+	rec       *flightrec.Recorder
 }
 
 // New boots a runtime: creates the device, maps the shared region into both
@@ -166,6 +178,16 @@ func New(cfg Config) (*Runtime, error) {
 			rt.tel.Tracer().SetEnabled(true)
 		}
 	}
+	if !cfg.DisableTelemetry && !cfg.DisableFlightRecorder {
+		rt.rec = flightrec.New(clock, cfg.FlightRecorderSize)
+		rt.rec.SetFramePeeker(remoting.PeekFrame)
+		rt.rec.SetEnabled(true)
+		tr.SetFlightRecorder(rt.rec)
+		lib.SetFlightRecorder(rt.rec)
+		daemon.SetFlightRecorder(rt.rec)
+		pool.SetFlightRecorder(rt.rec)
+		api.SetFlightRecorder(rt.rec)
+	}
 	if cfg.Faults != nil {
 		rt.plane = faults.NewPlane(*cfg.Faults, clock)
 		tr.InjectFaults(rt.plane)
@@ -173,6 +195,7 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.Faults != nil || cfg.Resilience != nil {
 		rt.sup = NewSupervisor(clock, daemon, lib, cfg.Supervision)
+		rt.sup.SetFlightRecorder(rt.rec)
 		if rt.tel != nil {
 			rt.sup.SetTelemetry(SupervisorTelemetry{
 				TransitionsTotal: rt.tel.Counter("lake_supervisor_transitions_total", "Supervisor state transitions recorded."),
@@ -249,6 +272,11 @@ func (r *Runtime) wireTelemetry(cfg Config) {
 // instrument it would hand out degrades to a no-op).
 func (r *Runtime) Telemetry() *telemetry.Registry { return r.tel }
 
+// FlightRecorder returns the always-on flight recorder, or nil when the
+// runtime was booted with DisableTelemetry or DisableFlightRecorder (nil is
+// safe: every recorder method degrades to a no-op).
+func (r *Runtime) FlightRecorder() *flightrec.Recorder { return r.rec }
+
 // Clock returns the runtime's virtual clock.
 func (r *Runtime) Clock() *vtime.Clock { return r.clock }
 
@@ -315,6 +343,7 @@ func (r *Runtime) NewAdaptivePolicy(cfg policy.AdaptiveConfig) *policy.Adaptive 
 // Batcher.RegisterModel and hand out Batcher.Client handles.
 func (r *Runtime) NewBatcher(cfg batcher.Config) *batcher.Batcher {
 	b := batcher.New(r, cfg)
+	b.SetFlightRecorder(r.rec)
 	if r.tel != nil {
 		b.SetTelemetry(batcher.Telemetry{
 			QueueDepth:     r.tel.Gauge("lake_batcher_queue_depth", "Inference items currently queued across all models."),

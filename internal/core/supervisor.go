@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"lakego/internal/flightrec"
 	"lakego/internal/remoting"
 	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
@@ -102,6 +103,11 @@ type Supervisor struct {
 	transitions []Transition
 
 	tel SupervisorTelemetry
+
+	// rec receives supervisor-domain transition events; nil-safe. Entering
+	// Dead or Restarting triggers an automatic dump — the rings are the
+	// post-mortem artifact of the recovery.
+	rec *flightrec.Recorder
 }
 
 // SupervisorTelemetry is the supervisor's instrument set; all fields may
@@ -120,6 +126,12 @@ type SupervisorTelemetry struct {
 func (s *Supervisor) SetTelemetry(tel SupervisorTelemetry) {
 	s.tel = tel
 	s.tel.State.Set(int64(StateHealthy))
+}
+
+// SetFlightRecorder attaches the flight recorder. Must be called during
+// runtime construction, before supervision traffic.
+func (s *Supervisor) SetFlightRecorder(rec *flightrec.Recorder) {
+	s.rec = rec
 }
 
 // NewSupervisor creates a supervisor for the runtime's daemon and lib.
@@ -162,12 +174,18 @@ func (s *Supervisor) setStateLocked(to DaemonState, cause string) {
 	if s.state == to {
 		return
 	}
+	from := s.state
 	s.transitions = append(s.transitions, Transition{
-		From: s.state, To: to, At: s.clock.Now(), Cause: cause,
+		From: from, To: to, At: s.clock.Now(), Cause: cause,
 	})
 	s.tel.TransitionsTotal.Inc()
 	s.tel.State.Set(int64(to))
 	s.state = to
+	s.rec.Emit(flightrec.DomainSupervisor, flightrec.EvTransition,
+		0, 0, 0, uint64(from), uint64(to), 0)
+	if to == StateDead || to == StateRestarting {
+		s.rec.TriggerDump("supervisor-" + to.String())
+	}
 }
 
 // DaemonUnresponsive implements remoting.RecoveryHook. It is invoked with

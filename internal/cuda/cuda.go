@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 )
 
@@ -61,6 +62,8 @@ type ctxInfo struct {
 type API struct {
 	devs  []*gpu.Device
 	place PlaceFunc
+	// rec receives gpu-domain launch events; nil-safe.
+	rec *flightrec.Recorder
 
 	mu         sync.Mutex
 	inited     bool
@@ -104,6 +107,12 @@ func NewMultiAPI(devs []*gpu.Device, place PlaceFunc) *API {
 		nextStream: 1,
 		streams:    make(map[uint64]*gpu.Stream),
 	}
+}
+
+// SetFlightRecorder attaches the flight recorder. Must be called during
+// runtime construction, before any traffic.
+func (a *API) SetFlightRecorder(rec *flightrec.Recorder) {
+	a.rec = rec
 }
 
 // Device returns the primary (ordinal 0) device model.
@@ -376,6 +385,8 @@ func (a *API) LaunchKernel(ctx, fn uint64, args []uint64) Result {
 	if k.Flops != nil {
 		cost += dev.ComputeTime(k.Flops(args))
 	}
+	a.rec.Emit(flightrec.DomainGPU, flightrec.EvLaunch,
+		a.rec.ExecTrace(), 0, dev.Ordinal(), fn, uint64(len(args)), 0)
 	var launchErr error
 	dev.Execute(ci.client, cost, func() {
 		if k.Body != nil {

@@ -1,0 +1,375 @@
+// Package flightrec is LAKE's always-on flight recorder: per-domain MPSC
+// rings of fixed-size binary event records, in the spirit of ftrace's ring
+// buffers. Every layer of the remoting stack — lakeLib, the boundary
+// channel, lakeD, the batcher, the GPU model and device pool, and the
+// supervisor — emits compact events (virtual + wall timestamp, kind, trace
+// ID, sequence number, device ordinal, three payload words) into its own
+// ring. The rings are cheap enough to leave on (one atomic cursor fetch-add
+// plus nine atomic stores per event; one atomic load when disabled) and
+// their contents become the crash artifact: dumps trigger automatically on
+// supervisor Dead/Restarting transitions and armed chaos crashes, and on
+// demand over laked's telemetry HTTP server.
+//
+// The trace ID threaded through events is the cross-boundary correlation
+// key: lakeLib stamps each remoted command with a fresh ID (carried on the
+// wire by the optional v2 command frame), lakeD tags its dispatch/exec
+// events with the same ID, and the GPU layers inherit it from the in-flight
+// execution — so one inference call can be stitched back together across
+// the kernel/user boundary. cmd/laketrace does exactly that with a dump.
+package flightrec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lakego/internal/vtime"
+)
+
+// Domain identifies which layer of the stack emitted an event; each domain
+// writes to its own ring so a noisy layer cannot evict another's history.
+type Domain uint8
+
+const (
+	DomainKernel     Domain = iota // lakeLib, the kernel-side stub library
+	DomainBoundary                 // the modeled kernel/user channel
+	DomainDaemon                   // lakeD command dispatch and execution
+	DomainBatcher                  // cross-client batching
+	DomainGPU                      // device model, CUDA API, device pool
+	DomainSupervisor               // daemon health state machine
+	numDomains
+)
+
+var domainNames = [numDomains]string{
+	"kernel", "boundary", "daemon", "batcher", "gpu", "supervisor",
+}
+
+func (d Domain) String() string {
+	if int(d) < len(domainNames) {
+		return domainNames[d]
+	}
+	return "unknown"
+}
+
+// Kind is the event type. Payload word meanings are per kind and documented
+// inline; unused words are zero.
+type Kind uint16
+
+const (
+	EvNone        Kind = iota
+	EvCallStart        // kernel: remoted call begins; a0=API id
+	EvMarshal          // kernel: command marshaled; a0=wall ns spent
+	EvRetry            // kernel: retransmission; a0=attempt number
+	EvChannel          // kernel: boundary round trip charged; a0=virtual ns, a1=bytes
+	EvDemux            // kernel: response matched to call; a0=wall ns spent
+	EvCallEnd          // kernel: remoted call done; a0=API id, a1=Result code
+	EvFrameSend        // boundary: frame enqueued; a0=bytes, a1=direction (0 to user, 1 to kernel)
+	EvFrameRecv        // boundary: frame dequeued; a0=bytes, a1=direction
+	EvQueueFull        // boundary: frame lost to a full channel queue; a1=direction
+	EvDispatch         // daemon: command decoded; a0=API id
+	EvJournalHit       // daemon: redelivered command answered from the journal
+	EvExecStart        // daemon: command execution begins; a0=API id
+	EvExecEnd          // daemon: command execution done; a0=API id, a1=Result code
+	EvRespond          // daemon: response frame sent; a0=API id
+	EvCrash            // daemon: armed crash fired; a0=crash point
+	EvRestart          // daemon: daemon restarted; a0=new generation
+	EvEnqueue          // batcher: request queued; a0=item count
+	EvFlushStart       // batcher: flush begins; a0=batched requests, a1=reason (0 full, 1 deadline, 2 linger)
+	EvFlushMember      // batcher/daemon: member request rode a flush; a0=flush trace ID
+	EvFlushEnd         // batcher: flush done; a0=batched requests, a1=1 if GPU path, 0 if CPU fallback
+	EvPlace            // gpu: pool placement decision; a0=policy, a1=1 for a flush placement
+	EvLaunch           // gpu: kernel launch requested; a0=function handle, a1=arg count
+	EvExec             // gpu: device executed work; a0=virtual ns of work, a1=virtual ns queued behind the device
+	EvCopy             // gpu: transfer charged; a0=bytes, a1=virtual ns
+	EvTransition       // supervisor: state change; a0=from, a1=to
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"none", "call_start", "marshal", "retry", "channel", "demux", "call_end",
+	"frame_send", "frame_recv", "queue_full",
+	"dispatch", "journal_hit", "exec_start", "exec_end", "respond", "crash", "restart",
+	"enqueue", "flush_start", "flush_member", "flush_end",
+	"place", "launch", "exec", "copy",
+	"transition",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one decoded flight-recorder record. On the wire (and in the
+// rings) it is exactly eventWords packed uint64s.
+type Event struct {
+	VTime   time.Duration // virtual-clock timestamp
+	Wall    int64         // wall-clock timestamp, unix nanoseconds
+	TraceID uint64
+	Seq     uint64
+	Domain  Domain
+	Kind    Kind
+	Device  uint16 // device ordinal for GPU-domain events
+	Arg0    uint64
+	Arg1    uint64
+	Arg2    uint64
+}
+
+func (e Event) pack() [eventWords]uint64 {
+	return [eventWords]uint64{
+		uint64(e.VTime),
+		uint64(e.Wall),
+		e.TraceID,
+		e.Seq,
+		uint64(e.Kind)<<32 | uint64(e.Domain)<<16 | uint64(e.Device),
+		e.Arg0,
+		e.Arg1,
+		e.Arg2,
+	}
+}
+
+func unpackEvent(w [eventWords]uint64) Event {
+	return Event{
+		VTime:   time.Duration(w[0]),
+		Wall:    int64(w[1]),
+		TraceID: w[2],
+		Seq:     w[3],
+		Kind:    Kind(w[4] >> 32),
+		Domain:  Domain(w[4] >> 16),
+		Device:  uint16(w[4]),
+		Arg0:    w[5],
+		Arg1:    w[6],
+		Arg2:    w[7],
+	}
+}
+
+// FrameInfo is what a frame peeker extracts from a wire frame so the
+// boundary can tag its events without decoding (or depending on) the
+// remoting package. Resp distinguishes response frames from commands.
+type FrameInfo struct {
+	Resp    bool
+	API     uint32
+	Seq     uint64
+	TraceID uint64
+}
+
+// FramePeeker reads the identifying header of a wire frame. ok is false for
+// frames the peeker does not recognize (corrupt or foreign); the boundary
+// still records those, just untagged.
+type FramePeeker func(frame []byte) (FrameInfo, bool)
+
+// DefaultRingSize is the per-domain ring capacity when the config does not
+// say otherwise: 4096 events × 64 bytes × 6 domains = 1.5 MiB resident.
+const DefaultRingSize = 4096
+
+// Recorder owns one ring per domain plus the trace-ID allocator. All
+// methods are safe on a nil *Recorder and safe for concurrent use; Emit on
+// a disabled recorder costs one atomic load.
+type Recorder struct {
+	enabled atomic.Bool
+	clock   *vtime.Clock
+	traceID atomic.Uint64
+	execTID atomic.Uint64 // trace ID of the command lakeD is executing now
+	peek    atomic.Value  // FramePeeker
+	rings   [numDomains]*ring
+
+	dumpMu sync.Mutex
+	last   *Dump
+	sink   func(*Dump)
+	dumps  atomic.Int64
+}
+
+// New builds a recorder on the runtime's virtual clock with ringSize events
+// per domain (DefaultRingSize if <= 0). The recorder starts disabled.
+func New(clock *vtime.Clock, ringSize int) *Recorder {
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	r := &Recorder{clock: clock}
+	for i := range r.rings {
+		r.rings[i] = newRing(ringSize)
+	}
+	return r
+}
+
+// SetEnabled switches recording on or off. No-op on nil.
+func (r *Recorder) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether events are being recorded (false for nil).
+func (r *Recorder) Enabled() bool {
+	return r != nil && r.enabled.Load()
+}
+
+// NextTraceID allocates a fresh nonzero trace ID. Valid (and deterministic)
+// even while recording is disabled, so span tracing can key off trace IDs
+// without the recorder. Returns 0 on nil — the "untraced" sentinel that
+// keeps the wire in its old byte-identical shape.
+func (r *Recorder) NextTraceID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.traceID.Add(1)
+}
+
+// SetFramePeeker installs the frame-header reader the boundary events use.
+// Injected by core from the remoting package to keep this package (and the
+// boundary) free of a protocol dependency.
+func (r *Recorder) SetFramePeeker(p FramePeeker) {
+	if r != nil && p != nil {
+		r.peek.Store(p)
+	}
+}
+
+// Emit records one event. device is the GPU ordinal (pass 0 elsewhere).
+func (r *Recorder) Emit(d Domain, k Kind, traceID, seq uint64, device int, a0, a1, a2 uint64) {
+	if !r.Enabled() {
+		return
+	}
+	e := Event{
+		VTime:   r.clock.Now(),
+		Wall:    time.Now().UnixNano(),
+		TraceID: traceID,
+		Seq:     seq,
+		Domain:  d,
+		Kind:    k,
+		Device:  uint16(device),
+		Arg0:    a0,
+		Arg1:    a1,
+		Arg2:    a2,
+	}
+	r.rings[d].put(e.pack())
+}
+
+// EmitFrame records a boundary-domain event for a wire frame, tagging it
+// with the frame's trace ID and sequence number when the installed peeker
+// recognizes it. dir is 0 for kernel→user, 1 for user→kernel.
+func (r *Recorder) EmitFrame(k Kind, frame []byte, dir uint64) {
+	if !r.Enabled() {
+		return
+	}
+	var tid, seq uint64
+	if p, ok := r.peek.Load().(FramePeeker); ok {
+		if info, ok := p(frame); ok {
+			tid, seq = info.TraceID, info.Seq
+		}
+	}
+	r.Emit(DomainBoundary, k, tid, seq, 0, uint64(len(frame)), dir, 0)
+}
+
+// BeginExec marks traceID as the command lakeD is currently executing, so
+// GPU-domain events fired from inside the execution (launches, copies) can
+// inherit it. lakeD executes one command at a time (every PumpOne runs
+// under lakeLib's call lock), so a single word suffices.
+func (r *Recorder) BeginExec(traceID uint64) {
+	if r != nil {
+		r.execTID.Store(traceID)
+	}
+}
+
+// EndExec clears the in-flight execution trace ID.
+func (r *Recorder) EndExec() {
+	if r != nil {
+		r.execTID.Store(0)
+	}
+}
+
+// ExecTrace returns the trace ID of the command currently executing in
+// lakeD, or 0 when GPU work is running outside a remoted command.
+func (r *Recorder) ExecTrace() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.execTID.Load()
+}
+
+// Dropped totals the events lost to ring overflow so far across domains.
+// Torn slots are only detectable at snapshot time and are added to the
+// per-domain dropped counts in the dump itself.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	var n uint64
+	for _, rg := range r.rings {
+		n += rg.overwritten()
+	}
+	return n
+}
+
+// Snapshot captures the surviving events of every domain into a Dump.
+// Writers are not paused; slots torn during the scan count as dropped.
+func (r *Recorder) Snapshot(reason string) *Dump {
+	if r == nil {
+		return nil
+	}
+	d := &Dump{
+		Version: dumpVersion,
+		Reason:  reason,
+		VNow:    r.clock.Now(),
+		WallNow: time.Now().UnixNano(),
+	}
+	for dom := Domain(0); dom < numDomains; dom++ {
+		raw, dropped := r.rings[dom].snapshot()
+		dd := DomainDump{Domain: dom, Name: dom.String(), Dropped: dropped}
+		dd.Events = make([]Event, len(raw))
+		for i, w := range raw {
+			dd.Events[i] = unpackEvent(w)
+		}
+		d.Domains = append(d.Domains, dd)
+	}
+	return d
+}
+
+// SetDumpSink installs a callback invoked with every automatic dump (the
+// CI artifact writer, a test harness). Called synchronously from
+// TriggerDump; keep it cheap.
+func (r *Recorder) SetDumpSink(sink func(*Dump)) {
+	if r == nil {
+		return
+	}
+	r.dumpMu.Lock()
+	r.sink = sink
+	r.dumpMu.Unlock()
+}
+
+// TriggerDump snapshots the rings in response to a fault (supervisor
+// transition, armed crash, operator request), retains it as LastDump, and
+// hands it to the sink if one is installed. No-op when disabled.
+func (r *Recorder) TriggerDump(reason string) *Dump {
+	if !r.Enabled() {
+		return nil
+	}
+	d := r.Snapshot(reason)
+	r.dumpMu.Lock()
+	r.last = d
+	sink := r.sink
+	r.dumpMu.Unlock()
+	r.dumps.Add(1)
+	if sink != nil {
+		sink(d)
+	}
+	return d
+}
+
+// LastDump returns the most recent automatic dump, if any.
+func (r *Recorder) LastDump() *Dump {
+	if r == nil {
+		return nil
+	}
+	r.dumpMu.Lock()
+	defer r.dumpMu.Unlock()
+	return r.last
+}
+
+// DumpCount reports how many automatic dumps have fired.
+func (r *Recorder) DumpCount() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dumps.Load()
+}

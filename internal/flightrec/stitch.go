@@ -1,0 +1,411 @@
+package flightrec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timeline is one remoted call stitched back together across domains from
+// its trace ID: client serialize → boundary crossing → daemon queue → exec
+// → copy → response. Virtual durations unless noted.
+type Timeline struct {
+	TraceID uint64
+	Seq     uint64
+	API     uint64 // remoting API id from the call events
+	Device  int    // executing device ordinal, -1 if no GPU work
+	Result  uint64 // remoting Result code from EvCallEnd
+	Retries int
+
+	Start, End time.Duration // EvCallStart .. EvCallEnd
+	ExecStartV time.Duration
+	ExecEndV   time.Duration
+
+	// The Fig 5/6 stages. Serialize is wall time (marshal costs no virtual
+	// time); the rest partition the call's virtual duration.
+	Serialize time.Duration // wall ns spent marshaling
+	Queue     time.Duration // call start until lakeD decoded it (incl. injected delay)
+	Exec      time.Duration // daemon execution window minus transfer time
+	Copy      time.Duration // transfer time charged inside the execution window
+	Boundary  time.Duration // modeled channel round-trip cost
+	Other     time.Duration // remainder: backoff, restart cost, response handling
+
+	Completed bool // the client observed a response (EvCallEnd present)
+	Complete  bool // every cross-domain link was recovered
+	Missing   []string
+}
+
+// Total is the call's virtual duration.
+func (t Timeline) Total() time.Duration { return t.End - t.Start }
+
+// StitchResult is the reconstruction of a dump.
+type StitchResult struct {
+	Dump      *Dump
+	Timelines []Timeline // calls (trace IDs with an EvCallStart), by Start
+	Completed int        // timelines whose call finished
+	Complete  int        // completed timelines with the full chain recovered
+	Dropped   uint64     // events the recorder reported lost
+}
+
+// chain lists the links a completed call must have for its timeline to
+// count as complete.
+var chain = []struct {
+	name string
+	kind Kind
+}{
+	{"call_start", EvCallStart},
+	{"marshal", EvMarshal},
+	{"dispatch", EvDispatch},
+	{"exec_start", EvExecStart},
+	{"exec_end", EvExecEnd},
+	{"respond", EvRespond},
+	{"demux", EvDemux},
+	{"channel", EvChannel},
+	{"call_end", EvCallEnd},
+}
+
+// Stitch groups a dump's events by trace ID and rebuilds per-call
+// cross-domain timelines.
+func Stitch(d *Dump) *StitchResult {
+	byTID := make(map[uint64][]Event)
+	for _, dd := range d.Domains {
+		for _, e := range dd.Events {
+			if e.TraceID != 0 {
+				byTID[e.TraceID] = append(byTID[e.TraceID], e)
+			}
+		}
+	}
+	res := &StitchResult{Dump: d, Dropped: d.TotalDropped()}
+	for tid, evs := range byTID {
+		tl, isCall := stitchOne(tid, evs)
+		if !isCall {
+			continue
+		}
+		res.Timelines = append(res.Timelines, tl)
+		if tl.Completed {
+			res.Completed++
+			if tl.Complete {
+				res.Complete++
+			}
+		}
+	}
+	sort.Slice(res.Timelines, func(i, j int) bool {
+		a, b := res.Timelines[i], res.Timelines[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.TraceID < b.TraceID
+	})
+	return res
+}
+
+func stitchOne(tid uint64, evs []Event) (Timeline, bool) {
+	tl := Timeline{TraceID: tid, Device: -1}
+	have := make(map[Kind]bool, len(evs))
+	const unset = time.Duration(-1 << 62)
+	start, end, dispatchAt, execStartV, execEndV := unset, unset, unset, unset, unset
+	for _, e := range evs {
+		have[e.Kind] = true
+		switch e.Kind {
+		case EvCallStart:
+			if start == unset || e.VTime < start {
+				start = e.VTime
+				tl.API = e.Arg0
+				tl.Seq = e.Seq
+			}
+		case EvCallEnd:
+			tl.Completed = true
+			if end == unset || e.VTime > end {
+				end = e.VTime
+				tl.Result = e.Arg1
+			}
+		case EvMarshal:
+			tl.Serialize += time.Duration(e.Arg0)
+		case EvRetry:
+			tl.Retries++
+		case EvChannel:
+			tl.Boundary += time.Duration(e.Arg0)
+		case EvDispatch:
+			if dispatchAt == unset || e.VTime < dispatchAt {
+				dispatchAt = e.VTime
+			}
+		case EvExecStart:
+			if execStartV == unset || e.VTime < execStartV {
+				execStartV = e.VTime
+			}
+		case EvExecEnd:
+			if execEndV == unset || e.VTime < execEndV {
+				execEndV = e.VTime
+			}
+		case EvCopy:
+			tl.Copy += time.Duration(e.Arg1)
+		case EvExec, EvLaunch:
+			tl.Device = int(e.Device)
+		}
+	}
+	if !have[EvCallStart] {
+		// Not a remoted call: a batcher member or flush-only trace ID.
+		return tl, false
+	}
+	tl.Start = start
+	if end != unset {
+		tl.End = end
+	} else {
+		tl.End = start
+	}
+	if dispatchAt != unset && dispatchAt > start {
+		tl.Queue = dispatchAt - start
+	}
+	if execStartV != unset && execEndV != unset && execEndV >= execStartV {
+		tl.ExecStartV, tl.ExecEndV = execStartV, execEndV
+		window := execEndV - execStartV
+		if tl.Copy > window {
+			tl.Copy = window
+		}
+		tl.Exec = window - tl.Copy
+		// The dispatch anchor can postdate the exec window when the first
+		// dispatch event was retransmission-reordered; re-anchor on the
+		// window so the stages still partition the call.
+		if tl.Start+tl.Queue > execStartV {
+			tl.Queue = execStartV - tl.Start
+		}
+		if tl.Queue < 0 {
+			tl.Queue = 0
+		}
+	}
+	if tl.Completed {
+		other := tl.Total() - tl.Queue - (tl.ExecEndV - tl.ExecStartV) - tl.Boundary
+		if other > 0 {
+			tl.Other = other
+		}
+	}
+	for _, link := range chain {
+		if !have[link.kind] {
+			tl.Missing = append(tl.Missing, link.name)
+		}
+	}
+	tl.Complete = tl.Completed && len(tl.Missing) == 0
+	return tl, true
+}
+
+// stageNames orders the breakdown columns; serialize is wall time, the rest
+// virtual.
+var stageNames = []string{"serialize(w)", "queue", "exec", "copy", "boundary", "other"}
+
+func (t Timeline) stages() []time.Duration {
+	return []time.Duration{t.Serialize, t.Queue, t.Exec, t.Copy, t.Boundary, t.Other}
+}
+
+// BreakdownTable renders the paper-Fig-5/6-shaped per-stage latency table:
+// one row per API, mean per-call microseconds per stage plus each virtual
+// stage's share of total virtual time. apiName maps remoting API ids to
+// names (pass nil for numeric ids).
+func BreakdownTable(ts []Timeline, apiName func(uint64) string) string {
+	if apiName == nil {
+		apiName = func(id uint64) string { return fmt.Sprintf("api_%d", id) }
+	}
+	type agg struct {
+		api    uint64
+		n      int
+		total  time.Duration
+		stages []time.Duration
+	}
+	byAPI := make(map[uint64]*agg)
+	for _, t := range ts {
+		if !t.Completed {
+			continue
+		}
+		a := byAPI[t.API]
+		if a == nil {
+			a = &agg{api: t.API, stages: make([]time.Duration, len(stageNames))}
+			byAPI[t.API] = a
+		}
+		a.n++
+		a.total += t.Total()
+		for i, d := range t.stages() {
+			a.stages[i] += d
+		}
+	}
+	rows := make([]*agg, 0, len(byAPI))
+	for _, a := range byAPI {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %7s %10s", "api", "calls", "total_us")
+	for _, s := range stageNames {
+		fmt.Fprintf(&b, " %12s", s)
+	}
+	b.WriteString("\n")
+	us := func(d time.Duration, n int) float64 { return float64(d) / float64(n) / 1e3 }
+	for _, a := range rows {
+		fmt.Fprintf(&b, "%-24s %7d %10.2f", apiName(a.api), a.n, us(a.total, a.n))
+		for i, d := range a.stages {
+			cell := fmt.Sprintf("%.2f", us(d, a.n))
+			if i > 0 && a.total > 0 { // virtual stages get a share column
+				cell += fmt.Sprintf("/%2.0f%%", 100*float64(d)/float64(a.total))
+			}
+			fmt.Fprintf(&b, " %12s", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TailAttribution reports which stage dominates the slowest calls: the
+// per-stage share of virtual time among calls at or above the q'th
+// total-latency quantile, against the all-calls share for contrast.
+func TailAttribution(ts []Timeline, q float64, apiName func(uint64) string) string {
+	if apiName == nil {
+		apiName = func(id uint64) string { return fmt.Sprintf("api_%d", id) }
+	}
+	var done []Timeline
+	for _, t := range ts {
+		if t.Completed {
+			done = append(done, t)
+		}
+	}
+	if len(done) == 0 {
+		return "no completed calls\n"
+	}
+	totals := make([]time.Duration, len(done))
+	for i, t := range done {
+		totals[i] = t.Total()
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	rank := int(math.Ceil(q*float64(len(totals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(totals) {
+		rank = len(totals) - 1
+	}
+	cut := totals[rank]
+
+	sum := func(pred func(Timeline) bool) (stages []time.Duration, total time.Duration, n int, apis map[uint64]int) {
+		stages = make([]time.Duration, len(stageNames))
+		apis = make(map[uint64]int)
+		for _, t := range done {
+			if !pred(t) {
+				continue
+			}
+			n++
+			total += t.Total()
+			apis[t.API]++
+			for i, d := range t.stages() {
+				stages[i] += d
+			}
+		}
+		return
+	}
+	allStages, allTotal, allN, _ := sum(func(Timeline) bool { return true })
+	tailStages, tailTotal, tailN, tailAPIs := sum(func(t Timeline) bool { return t.Total() >= cut })
+
+	share := func(stages []time.Duration, total time.Duration, i int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(stages[i]) / float64(total)
+	}
+	dominant, dominantShare := "", -1.0
+	var b strings.Builder
+	fmt.Fprintf(&b, "p%.0f cutoff %.2fus: %d of %d calls\n", q*100, float64(cut)/1e3, tailN, allN)
+	fmt.Fprintf(&b, "%-14s %12s %12s\n", "stage", "tail share", "all share")
+	for i, name := range stageNames {
+		if i == 0 {
+			continue // serialize is wall time; shares are of virtual totals
+		}
+		ts, as := share(tailStages, tailTotal, i), share(allStages, allTotal, i)
+		fmt.Fprintf(&b, "%-14s %11.1f%% %11.1f%%\n", name, ts, as)
+		if ts > dominantShare {
+			dominant, dominantShare = name, ts
+		}
+	}
+	fmt.Fprintf(&b, "tail is dominated by %q (%.1f%% of tail virtual time)\n", dominant, dominantShare)
+	var names []string
+	for api, n := range tailAPIs {
+		names = append(names, fmt.Sprintf("%s×%d", apiName(api), n))
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "tail calls: %s\n", strings.Join(names, " "))
+	return b.String()
+}
+
+// chromeEvent is one Chrome trace_event record (Perfetto's JSON format).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace renders the stitched timelines (plus crash/transition
+// markers from the dump) as Chrome trace_event JSON loadable in Perfetto
+// (chrome://tracing, ui.perfetto.dev). The virtual clock is the time axis;
+// each trace ID gets its own track.
+func ChromeTrace(res *StitchResult, apiName func(uint64) string) ([]byte, error) {
+	if apiName == nil {
+		apiName = func(id uint64) string { return fmt.Sprintf("api_%d", id) }
+	}
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	var events []chromeEvent
+	for _, t := range res.Timelines {
+		if !t.Completed {
+			continue
+		}
+		args := map[string]any{
+			"api": apiName(t.API), "seq": t.Seq, "trace_id": t.TraceID,
+			"retries": t.Retries, "serialize_wall_ns": t.Serialize.Nanoseconds(),
+		}
+		if t.Device >= 0 {
+			args["device"] = t.Device
+		}
+		events = append(events, chromeEvent{
+			Name: apiName(t.API), Cat: "call", Ph: "X", Pid: 1, Tid: t.TraceID,
+			Ts: us(t.Start), Dur: us(t.Total()), Args: args,
+		})
+		slice := func(name string, start, dur time.Duration) {
+			if dur <= 0 {
+				return
+			}
+			events = append(events, chromeEvent{
+				Name: name, Cat: "stage", Ph: "X", Pid: 1, Tid: t.TraceID,
+				Ts: us(start), Dur: us(dur),
+			})
+		}
+		slice("queue", t.Start, t.Queue)
+		if t.ExecEndV > t.ExecStartV {
+			slice("exec", t.ExecStartV, t.ExecEndV-t.ExecStartV)
+			slice("copy", t.ExecStartV, t.Copy)
+			slice("boundary", t.ExecEndV, t.Boundary)
+		} else {
+			slice("boundary", t.Start+t.Queue, t.Boundary)
+		}
+	}
+	if res.Dump != nil {
+		for _, dd := range res.Dump.Domains {
+			for _, e := range dd.Events {
+				switch e.Kind {
+				case EvCrash, EvRestart, EvTransition, EvQueueFull:
+					events = append(events, chromeEvent{
+						Name: e.Kind.String(), Cat: e.Domain.String(), Ph: "i",
+						Pid: 1, Tid: e.TraceID, Ts: us(e.VTime),
+						Args: map[string]any{"arg0": e.Arg0, "arg1": e.Arg1},
+					})
+				}
+			}
+		}
+	}
+	return json.MarshalIndent(map[string]any{
+		"displayTimeUnit": "ns",
+		"traceEvents":     events,
+	}, "", " ")
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lakego/internal/flightrec"
 	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
@@ -117,6 +118,10 @@ type Device struct {
 	copyBytes atomic.Int64
 
 	tel Telemetry
+
+	// rec receives gpu-domain events, tagged with the trace ID of the
+	// command lakeD is currently executing (Recorder.ExecTrace); nil-safe.
+	rec *flightrec.Recorder
 }
 
 // Telemetry is the device's instrument set; all fields may be nil.
@@ -142,6 +147,12 @@ func (d *Device) SetTelemetry(tel Telemetry) {
 	d.tel = tel
 }
 
+// SetFlightRecorder attaches the flight recorder. Must be called during
+// runtime construction, before any traffic.
+func (d *Device) SetFlightRecorder(rec *flightrec.Recorder) {
+	d.rec = rec
+}
+
 // ObserveCopy records one host<->device DMA of n bytes taking d (virtual
 // time). The CUDA API layer calls it when charging transfers.
 func (d *Device) ObserveCopy(n int64, took time.Duration) {
@@ -149,6 +160,8 @@ func (d *Device) ObserveCopy(n int64, took time.Duration) {
 	d.copyBytes.Add(n)
 	d.tel.CopyTime.ObserveDuration(took)
 	d.tel.CopyBytes.Add(n)
+	d.rec.Emit(flightrec.DomainGPU, flightrec.EvCopy,
+		d.rec.ExecTrace(), 0, d.ordinal, uint64(n), uint64(took), 0)
 }
 
 // Copies reports the device's DMA accounting: number of host<->device
@@ -284,6 +297,8 @@ func (d *Device) Execute(client string, cost time.Duration, fn func()) time.Dura
 	d.tel.Launches.Inc()
 	d.tel.ExecTime.ObserveDuration(cost)
 	d.tel.QueueDelay.ObserveDuration(start - now)
+	d.rec.Emit(flightrec.DomainGPU, flightrec.EvExec,
+		d.rec.ExecTrace(), 0, d.ordinal, uint64(cost), uint64(start-now), 0)
 
 	d.clock.AdvanceTo(end)
 	if fn != nil {

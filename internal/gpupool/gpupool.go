@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/nvml"
 	"lakego/internal/vtime"
@@ -109,6 +110,18 @@ type Pool struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	cursor int
+
+	// rec receives gpu-domain placement events; nil-safe.
+	rec *flightrec.Recorder
+}
+
+// SetFlightRecorder attaches the flight recorder to the pool and all of its
+// devices. Must be called during runtime construction, before any traffic.
+func (p *Pool) SetFlightRecorder(rec *flightrec.Recorder) {
+	p.rec = rec
+	for _, d := range p.devs {
+		d.SetFlightRecorder(rec)
+	}
 }
 
 // New builds the pool, creating device i from cfg.Specs[i] with ordinal i
@@ -159,17 +172,20 @@ func (p *Pool) Devices() []*gpu.Device { return p.devs }
 // according to the configured policy.
 func (p *Pool) Place(client string) int {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	var ord int
 	switch p.policy {
 	case LeastOutstanding:
-		return p.leastOutstandingLocked(nil)
+		ord = p.leastOutstandingLocked(nil)
 	case ContentionAware:
-		return p.contentionAwareLocked(nil)
+		ord = p.contentionAwareLocked(nil)
 	default:
-		ord := p.cursor % len(p.devs)
+		ord = p.cursor % len(p.devs)
 		p.cursor++
-		return ord
 	}
+	p.mu.Unlock()
+	p.rec.Emit(flightrec.DomainGPU, flightrec.EvPlace,
+		p.rec.ExecTrace(), 0, ord, uint64(p.policy), 0, 0)
+	return ord
 }
 
 // PlaceFlush picks the device for one batched flush: the least-utilized
@@ -179,8 +195,11 @@ func (p *Pool) Place(client string) int {
 // launch, so steering it to spare capacity is always profitable.
 func (p *Pool) PlaceFlush(eligible []int) int {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.contentionAwareLocked(eligible)
+	ord := p.contentionAwareLocked(eligible)
+	p.mu.Unlock()
+	p.rec.Emit(flightrec.DomainGPU, flightrec.EvPlace,
+		p.rec.ExecTrace(), 0, ord, uint64(p.policy), 1, 0)
+	return ord
 }
 
 // leastOutstandingLocked returns the eligible ordinal with the smallest

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lakego/internal/cuda"
+	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 )
 
@@ -25,6 +26,11 @@ type BatchEntry struct {
 	InOff, OutOff uint64
 	// Count is the number of inference items in this request.
 	Count uint32
+	// TraceID is the member request's flight-recorder correlation key,
+	// propagated through the coalesced flush. Optional on the wire like
+	// Command.TraceID: a batch whose entries are all untraced marshals to
+	// the original batchMagic layout byte-for-byte.
+	TraceID uint64
 }
 
 // Batch is the payload of an APIBatchedInfer command.
@@ -37,21 +43,41 @@ type Batch struct {
 // response's Vals.
 const maxBatchEntries = maxArgs / 2
 
-const batchMagic = 0xB7
+const (
+	batchMagic = 0xB7
+	// tracedBatchMagic marks a batch whose entries carry trace IDs: the
+	// batchMagic layout with 8 extra bytes per entry. Used only when at
+	// least one entry is traced, mirroring cmdMagicTraced.
+	tracedBatchMagic = 0xB8
+)
 
 // MarshalBatch encodes a batch descriptor for transport in a Command blob.
 func MarshalBatch(bt *Batch) ([]byte, error) {
 	if len(bt.Entries) > maxBatchEntries {
 		return nil, fmt.Errorf("remoting: batch has %d entries, max %d", len(bt.Entries), maxBatchEntries)
 	}
-	buf := make([]byte, 0, 1+2+28*len(bt.Entries))
-	buf = append(buf, batchMagic)
+	traced := false
+	for _, e := range bt.Entries {
+		if e.TraceID != 0 {
+			traced = true
+			break
+		}
+	}
+	buf := make([]byte, 0, 1+2+36*len(bt.Entries))
+	if traced {
+		buf = append(buf, tracedBatchMagic)
+	} else {
+		buf = append(buf, batchMagic)
+	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(bt.Entries)))
 	for _, e := range bt.Entries {
 		buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
 		buf = binary.LittleEndian.AppendUint64(buf, e.InOff)
 		buf = binary.LittleEndian.AppendUint64(buf, e.OutOff)
 		buf = binary.LittleEndian.AppendUint32(buf, e.Count)
+		if traced {
+			buf = binary.LittleEndian.AppendUint64(buf, e.TraceID)
+		}
 	}
 	return buf, nil
 }
@@ -59,7 +85,8 @@ func MarshalBatch(bt *Batch) ([]byte, error) {
 // UnmarshalBatch decodes a frame produced by MarshalBatch.
 func UnmarshalBatch(frame []byte) (*Batch, error) {
 	r := reader{buf: frame}
-	if m, err := r.u8(); err != nil || m != batchMagic {
+	m, err := r.u8()
+	if err != nil || (m != batchMagic && m != tracedBatchMagic) {
 		return nil, ErrShortFrame
 	}
 	n, err := r.u16()
@@ -85,6 +112,11 @@ func UnmarshalBatch(frame []byte) (*Batch, error) {
 			return nil, err
 		}
 		entries[i].Count = c
+		if m == tracedBatchMagic {
+			if entries[i].TraceID, err = r.u64(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if r.pos != len(frame) {
 		return nil, ErrShortFrame
@@ -125,15 +157,24 @@ func batchSpecFromArgs(args []uint64) (BatchSpec, bool) {
 // map with Success command result may still contain per-entry failures
 // (e.g. one request's shm range was invalid while the rest executed).
 func (l *Lib) CuBatchedInfer(model string, spec BatchSpec, entries []BatchEntry) (map[uint64]cuda.Result, cuda.Result) {
+	return l.CuBatchedInferTraced(model, spec, entries, 0)
+}
+
+// CuBatchedInferTraced is CuBatchedInfer under an externally assigned trace
+// ID: the batcher allocates one ID per flush so the remoted command (and
+// its daemon-side events and span stages) correlate with the flush span,
+// while the entries keep their member trace IDs.
+func (l *Lib) CuBatchedInferTraced(model string, spec BatchSpec, entries []BatchEntry, traceID uint64) (map[uint64]cuda.Result, cuda.Result) {
 	blob, err := MarshalBatch(&Batch{Entries: entries})
 	if err != nil {
 		return nil, cuda.ErrInvalidValue
 	}
 	r, resp := l.callRes(&Command{
-		API:  APIBatchedInfer,
-		Name: model,
-		Args: spec.args(),
-		Blob: blob,
+		API:     APIBatchedInfer,
+		TraceID: traceID,
+		Name:    model,
+		Args:    spec.args(),
+		Blob:    blob,
 	})
 	if resp == nil {
 		return nil, r
@@ -162,6 +203,14 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 	if err != nil {
 		resp.Result = int32(cuda.ErrInvalidValue)
 		return resp
+	}
+	// Daemon-side proof that member trace IDs survived the coalesced wire
+	// trip: one flush_member event per traced entry, linking member -> flush.
+	for _, e := range bt.Entries {
+		if e.TraceID != 0 {
+			d.rec.Emit(flightrec.DomainDaemon, flightrec.EvFlushMember,
+				e.TraceID, e.Seq, 0, cmd.TraceID, uint64(e.Count), 0)
+		}
 	}
 	// Staging pointers are routed to their owning device by the ordinal tag
 	// every DevPtr carries; the flush placement already picked the device by
@@ -214,7 +263,7 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 		}
 		d.api.ChargeTransferFor(spec.DevIn, int64(cursor))
 
-		lt := d.tel.Tracer.Current().StageTimer("launch", d.tr.Clock().Now())
+		lt := d.tel.Tracer.Open(cmd.TraceID).StageTimer("launch", d.tr.Clock().Now())
 		launch := d.api.LaunchKernel(spec.Ctx, spec.Fn,
 			[]uint64{uint64(spec.DevIn), uint64(spec.DevOut), uint64(items)})
 		lt.End(d.tr.Clock().Now())

@@ -7,6 +7,7 @@ import (
 	"lakego/internal/boundary"
 	"lakego/internal/cuda"
 	"lakego/internal/faults"
+	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/nvml"
 	"lakego/internal/shm"
@@ -44,6 +45,11 @@ type Daemon struct {
 	errlog       []string
 
 	tel DaemonTelemetry
+
+	// rec is the flight recorder's daemon-domain view; nil-safe. Its
+	// BeginExec/EndExec window is how GPU-domain events inherit the trace ID
+	// of the command lakeD is executing.
+	rec *flightrec.Recorder
 }
 
 // DaemonTelemetry is lakeD's instrument set; all fields may be nil.
@@ -67,6 +73,12 @@ type DaemonTelemetry struct {
 // construction, before any traffic.
 func (d *Daemon) SetTelemetry(tel DaemonTelemetry) {
 	d.tel = tel
+}
+
+// SetFlightRecorder attaches the flight recorder. Must be called during
+// runtime construction, before any traffic.
+func (d *Daemon) SetFlightRecorder(rec *flightrec.Recorder) {
+	d.rec = rec
 }
 
 // maxErrlog bounds the daemon's attribution log.
@@ -116,11 +128,16 @@ func (d *Daemon) Crashed() bool {
 }
 
 // crash marks the daemon dead, recording the crash point for attribution.
+// The flight recorder captures the moment (and dumps itself: the rings are
+// the crash artifact, like a kernel's ftrace buffer after an oops).
 func (d *Daemon) crash(at faults.CrashPoint, cmd *Command) {
 	d.mu.Lock()
 	d.crashed = true
 	d.logErrLocked(fmt.Sprintf("lakeD: %s while serving %s seq=%d", at, cmd.API, cmd.Seq))
 	d.mu.Unlock()
+	d.rec.Emit(flightrec.DomainDaemon, flightrec.EvCrash,
+		cmd.TraceID, cmd.Seq, 0, uint64(at), uint64(cmd.API), 0)
+	d.rec.TriggerDump("daemon-crash")
 }
 
 // Restart models the supervisor relaunching lakeD and re-attaching its
@@ -133,8 +150,10 @@ func (d *Daemon) Restart() {
 	d.crashed = false
 	d.pendingCrash = faults.CrashNone
 	d.restarts++
-	d.generation++
+	gen := d.generation + 1
+	d.generation = gen
 	d.mu.Unlock()
+	d.rec.Emit(flightrec.DomainDaemon, flightrec.EvRestart, 0, 0, 0, gen, 0, 0)
 }
 
 // Restarts counts supervisor restarts; Generation is the current restart
@@ -244,10 +263,18 @@ func (d *Daemon) PumpOne() bool {
 		d.respond(mustMarshalResponse(&Response{Result: int32(cuda.ErrInvalidValue)}))
 		return true
 	}
-	dispatch := d.tel.Tracer.Current().StageTimer("dispatch", d.tr.Clock().Now())
+	d.rec.Emit(flightrec.DomainDaemon, flightrec.EvDispatch,
+		cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(len(frame)), 0)
+	dispatch := d.tel.Tracer.Open(cmd.TraceID).StageTimer("dispatch", d.tr.Clock().Now())
 	if cached, dup := d.journal.lookup(cmd.Seq); dup {
 		d.tel.Redelivered.Inc()
+		d.rec.Emit(flightrec.DomainDaemon, flightrec.EvJournalHit,
+			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), 0, 0)
 		d.respond(cached)
+		// The journaled response answers a redelivery whose original send was
+		// lost; this respond completes the call's daemon-side chain.
+		d.rec.Emit(flightrec.DomainDaemon, flightrec.EvRespond,
+			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(len(cached)), 0)
 		dispatch.End(d.tr.Clock().Now())
 		return true
 	}
@@ -271,6 +298,8 @@ func (d *Daemon) PumpOne() bool {
 	out := mustMarshalResponse(d.handleCmd(cmd))
 	d.journal.record(cmd.Seq, out)
 	d.respond(out)
+	d.rec.Emit(flightrec.DomainDaemon, flightrec.EvRespond,
+		cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(len(out)), 0)
 	dispatch.End(d.tr.Clock().Now())
 	return true
 }
@@ -318,11 +347,17 @@ func (d *Daemon) handleCmd(cmd *Command) (resp *Response) {
 	// The daemon is a long-lived trusted process (§6.1); a buggy
 	// high-level handler or device kernel must fail the one request, not
 	// the daemon. Mirrors the sandboxing posture the paper suggests.
+	d.rec.BeginExec(cmd.TraceID)
+	d.rec.Emit(flightrec.DomainDaemon, flightrec.EvExecStart,
+		cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), 0, 0)
 	defer func() {
 		if r := recover(); r != nil {
 			d.logErr(fmt.Sprintf("lakeD: panic in %s seq=%d: %v", cmd.API, cmd.Seq, r))
 			resp = &Response{Seq: cmd.Seq, Result: int32(cuda.ErrUnknown)}
 		}
+		d.rec.Emit(flightrec.DomainDaemon, flightrec.EvExecEnd,
+			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(uint32(resp.Result)), 0)
+		d.rec.EndExec()
 	}()
 	if cmd.API != APIPing {
 		// Heartbeats are supervision traffic, not workload: Executed stays
@@ -416,7 +451,7 @@ func (d *Daemon) execute(cmd *Command) *Response {
 			resp.Result = int32(cuda.ErrInvalidValue)
 			break
 		}
-		launch := d.tel.Tracer.Current().StageTimer("launch", d.tr.Clock().Now())
+		launch := d.tel.Tracer.Open(cmd.TraceID).StageTimer("launch", d.tr.Clock().Now())
 		resp.Result = int32(d.api.LaunchKernel(cmd.Args[0], cmd.Args[1], cmd.Args[2:]))
 		launch.End(d.tr.Clock().Now())
 

@@ -9,6 +9,7 @@ import (
 
 	"lakego/internal/boundary"
 	"lakego/internal/cuda"
+	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/shm"
 	"lakego/internal/telemetry"
@@ -56,6 +57,11 @@ type Lib struct {
 	dead bool
 
 	tel LibTelemetry
+
+	// rec is the flight recorder's kernel-domain view; nil-safe like the
+	// telemetry instruments. It also serves as the trace-ID allocator for
+	// the whole stack, so IDs are unique across lib, batcher, and daemon.
+	rec *flightrec.Recorder
 }
 
 // LibTelemetry is lakeLib's instrument set; all fields may be nil.
@@ -81,6 +87,13 @@ type LibTelemetry struct {
 // construction, before any traffic.
 func (l *Lib) SetTelemetry(tel LibTelemetry) {
 	l.tel = tel
+}
+
+// SetFlightRecorder attaches the flight recorder. Must be called during
+// runtime construction, before any traffic; nil (the default) keeps every
+// emission a no-op and every call untraced.
+func (l *Lib) SetFlightRecorder(rec *flightrec.Recorder) {
+	l.rec = rec
 }
 
 // NewLib creates the kernel-side stub library. The daemon is driven
@@ -160,20 +173,32 @@ func (l *Lib) resilience() *Resilience {
 // call performs one remoted invocation end to end.
 func (l *Lib) call(cmd *Command) (*Response, error) {
 	cmd.Seq = l.seq.Add(1)
+	// A trace ID is assigned only when something will consume it (recorder
+	// or tracer enabled); otherwise the command keeps TraceID 0 and the wire
+	// frame is byte-identical to the untraced protocol. Batcher flushes
+	// arrive with an externally assigned ID, which is preserved.
+	if cmd.TraceID == 0 && (l.rec.Enabled() || l.tel.Tracer.Enabled()) {
+		cmd.TraceID = l.rec.NextTraceID()
+	}
 	marshalWall := time.Now()
 	frame, err := MarshalCommand(cmd)
 	if err != nil {
 		return nil, err
 	}
+	marshalTook := time.Since(marshalWall)
 	l.callMu.Lock()
 	defer l.callMu.Unlock()
 	vstart := l.tr.Clock().Now()
+	l.rec.Emit(flightrec.DomainKernel, flightrec.EvCallStart,
+		cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(len(frame)), 0)
+	l.rec.Emit(flightrec.DomainKernel, flightrec.EvMarshal,
+		cmd.TraceID, cmd.Seq, 0, uint64(marshalTook), uint64(len(frame)), 0)
 	if l.tel.Tracer.Enabled() {
 		// The span either starts here (a direct call) or joins the open one
 		// (a call issued inside a batcher flush span). Marshal is a
 		// zero-virtual-width stage: it costs wall time only.
-		sp, owner := l.tel.Tracer.StartSpan(cmd.API.String(), cmd.Seq, vstart)
-		sp.AddStage("marshal", vstart, vstart, time.Since(marshalWall))
+		sp, owner := l.tel.Tracer.StartSpan(cmd.API.String(), cmd.Seq, vstart, cmd.TraceID)
+		sp.AddStage("marshal", vstart, vstart, marshalTook)
 		if owner {
 			defer func() { l.tel.Tracer.FinishSpan(sp, l.tr.Clock().Now()) }()
 		}
@@ -188,6 +213,11 @@ func (l *Lib) call(cmd *Command) (*Response, error) {
 	if err == nil {
 		l.tel.Calls.Inc()
 		l.tel.CallLatency.ObserveDuration(l.tr.Clock().Now() - vstart)
+		l.rec.Emit(flightrec.DomainKernel, flightrec.EvCallEnd,
+			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(uint32(resp.Result)), 0)
+	} else {
+		l.rec.Emit(flightrec.DomainKernel, flightrec.EvCallEnd,
+			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(uint32(cuda.ErrUnknown)), 1)
 	}
 	return resp, err
 }
@@ -215,15 +245,19 @@ func (l *Lib) exchangeOnce(cmd *Command, frame []byte) (*Response, error) {
 		return nil, fmt.Errorf("%w: response seq %d for command %d",
 			ErrTransport, resp.Seq, cmd.Seq)
 	}
-	if sp := l.tel.Tracer.Current(); sp != nil {
+	if sp := l.tel.Tracer.Open(cmd.TraceID); sp != nil {
 		vnow := l.tr.Clock().Now()
 		sp.AddStage("demux", vnow, vnow, time.Since(demuxWall))
 	}
+	l.rec.Emit(flightrec.DomainKernel, flightrec.EvDemux,
+		cmd.TraceID, cmd.Seq, 0, uint64(time.Since(demuxWall)), 0, 0)
 	// Charge the channel's modeled cost for what actually crossed the
 	// boundary in both directions (Fig 6's size-dependent overhead).
-	chTimer := l.tel.Tracer.Current().StageTimer("channel", l.tr.Clock().Now())
+	chTimer := l.tel.Tracer.Open(cmd.TraceID).StageTimer("channel", l.tr.Clock().Now())
 	d := l.tr.ChargeRoundTrip(len(frame) + len(respFrame))
 	chTimer.End(l.tr.Clock().Now())
+	l.rec.Emit(flightrec.DomainKernel, flightrec.EvChannel,
+		cmd.TraceID, cmd.Seq, 0, uint64(d), uint64(len(frame)+len(respFrame)), 0)
 	l.mu.Lock()
 	l.calls++
 	l.remotedTime += d
@@ -275,6 +309,8 @@ func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*R
 			l.rstats.Retries++
 			l.mu.Unlock()
 			l.tel.Retries.Inc()
+			l.rec.Emit(flightrec.DomainKernel, flightrec.EvRetry,
+				cmd.TraceID, cmd.Seq, 0, uint64(attempt), 0, 0)
 			l.tr.Clock().Advance(res.Retry.BackoffFor(attempt-1, l.rng.draw()))
 			continue
 		}
@@ -333,13 +369,17 @@ func (l *Lib) attemptOnce(cmd *Command, frame []byte) (*Response, error) {
 			l.tel.StaleResponses.Inc()
 			continue
 		}
-		if sp := l.tel.Tracer.Current(); sp != nil {
+		if sp := l.tel.Tracer.Open(cmd.TraceID); sp != nil {
 			vnow := l.tr.Clock().Now()
 			sp.AddStage("demux", vnow, vnow, time.Since(demuxWall))
 		}
-		chTimer := l.tel.Tracer.Current().StageTimer("channel", l.tr.Clock().Now())
+		l.rec.Emit(flightrec.DomainKernel, flightrec.EvDemux,
+			cmd.TraceID, cmd.Seq, 0, uint64(time.Since(demuxWall)), 0, 0)
+		chTimer := l.tel.Tracer.Open(cmd.TraceID).StageTimer("channel", l.tr.Clock().Now())
 		d := l.tr.ChargeRoundTrip(len(frame) + len(respFrame))
 		chTimer.End(l.tr.Clock().Now())
+		l.rec.Emit(flightrec.DomainKernel, flightrec.EvChannel,
+			cmd.TraceID, cmd.Seq, 0, uint64(d), uint64(len(frame)+len(respFrame)), 0)
 		l.mu.Lock()
 		l.calls++
 		l.remotedTime += d

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+
+	"lakego/internal/flightrec"
 )
 
 // APIID identifies a remoted API in command headers.
@@ -105,6 +107,12 @@ type Command struct {
 	API APIID
 	// Seq matches responses to commands.
 	Seq uint64
+	// TraceID is the flight recorder's cross-boundary correlation key,
+	// optional on the wire following the PR-4 ordinal-arg precedent: zero
+	// marshals to the original cmdMagic frame byte-for-byte, nonzero
+	// switches the header to cmdMagicTraced and inserts the ID after Seq.
+	// Old decoders never see the new magic unless a trace ID is in play.
+	TraceID uint64
 	// Args carries scalar parameters: handles, device pointers, sizes,
 	// shm offsets.
 	Args []uint64
@@ -135,8 +143,13 @@ const (
 var ErrShortFrame = errors.New("remoting: short or corrupt frame")
 
 const (
-	cmdMagic  = 0xC1
-	respMagic = 0xE1
+	cmdMagic = 0xC1
+	// cmdMagicTraced marks a command frame carrying a trace ID: the layout
+	// of cmdMagic with 8 extra little-endian bytes between Seq and the arg
+	// count. Emitted only when Command.TraceID != 0, so untraced runs stay
+	// byte-identical to the original wire shape.
+	cmdMagicTraced = 0xC2
+	respMagic      = 0xE1
 )
 
 // Every frame ends with a CRC32-C of the preceding bytes. A corrupted
@@ -172,11 +185,18 @@ func MarshalCommand(c *Command) ([]byte, error) {
 		return nil, fmt.Errorf("remoting: command exceeds wire limits (args=%d name=%d blob=%d)",
 			len(c.Args), len(c.Name), len(c.Blob))
 	}
-	n := 1 + 4 + 8 + 2 + 8*len(c.Args) + 2 + len(c.Name) + 4 + len(c.Blob) + crcLen
+	n := 1 + 4 + 8 + 8 + 2 + 8*len(c.Args) + 2 + len(c.Name) + 4 + len(c.Blob) + crcLen
 	buf := make([]byte, 0, n)
-	buf = append(buf, cmdMagic)
+	if c.TraceID != 0 {
+		buf = append(buf, cmdMagicTraced)
+	} else {
+		buf = append(buf, cmdMagic)
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.API))
 	buf = binary.LittleEndian.AppendUint64(buf, c.Seq)
+	if c.TraceID != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, c.TraceID)
+	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Args)))
 	for _, a := range c.Args {
 		buf = binary.LittleEndian.AppendUint64(buf, a)
@@ -197,7 +217,8 @@ func UnmarshalCommand(frame []byte) (*Command, error) {
 		return nil, err
 	}
 	r := reader{buf: body}
-	if m, err := r.u8(); err != nil || m != cmdMagic {
+	m, err := r.u8()
+	if err != nil || (m != cmdMagic && m != cmdMagicTraced) {
 		return nil, ErrShortFrame
 	}
 	api, err := r.u32()
@@ -207,6 +228,15 @@ func UnmarshalCommand(frame []byte) (*Command, error) {
 	seq, err := r.u64()
 	if err != nil {
 		return nil, err
+	}
+	var traceID uint64
+	if m == cmdMagicTraced {
+		if traceID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if traceID == 0 {
+			return nil, ErrShortFrame // traced frames must carry a real ID
+		}
 	}
 	nargs, err := r.u16()
 	if err != nil {
@@ -232,7 +262,45 @@ func UnmarshalCommand(frame []byte) (*Command, error) {
 	if r.pos != len(body) {
 		return nil, ErrShortFrame
 	}
-	return &Command{API: APIID(api), Seq: seq, Args: args, Name: name, Blob: blob}, nil
+	return &Command{API: APIID(api), Seq: seq, TraceID: traceID, Args: args, Name: name, Blob: blob}, nil
+}
+
+// PeekFrame reads a wire frame's identifying header — direction, API,
+// sequence number, trace ID — without decoding or CRC-verifying the body.
+// It is the flight recorder's frame peeker: the boundary channel tags its
+// send/receive events with it at a few fixed-offset loads per frame. ok is
+// false for frames too short or not starting with a known magic; a frame
+// corrupted elsewhere simply yields the (possibly garbled) header values,
+// which is fine for a diagnostic event stream.
+func PeekFrame(frame []byte) (flightrec.FrameInfo, bool) {
+	if len(frame) < 1 {
+		return flightrec.FrameInfo{}, false
+	}
+	switch frame[0] {
+	case respMagic: // magic | seq u64 | ...
+		if len(frame) < 9 {
+			return flightrec.FrameInfo{}, false
+		}
+		return flightrec.FrameInfo{Resp: true, Seq: binary.LittleEndian.Uint64(frame[1:9])}, true
+	case cmdMagic: // magic | api u32 | seq u64 | ...
+		if len(frame) < 13 {
+			return flightrec.FrameInfo{}, false
+		}
+		return flightrec.FrameInfo{
+			API: binary.LittleEndian.Uint32(frame[1:5]),
+			Seq: binary.LittleEndian.Uint64(frame[5:13]),
+		}, true
+	case cmdMagicTraced: // magic | api u32 | seq u64 | trace u64 | ...
+		if len(frame) < 21 {
+			return flightrec.FrameInfo{}, false
+		}
+		return flightrec.FrameInfo{
+			API:     binary.LittleEndian.Uint32(frame[1:5]),
+			Seq:     binary.LittleEndian.Uint64(frame[5:13]),
+			TraceID: binary.LittleEndian.Uint64(frame[13:21]),
+		}, true
+	}
+	return flightrec.FrameInfo{}, false
 }
 
 // MarshalResponse encodes r into a wire frame.

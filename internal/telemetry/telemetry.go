@@ -112,10 +112,16 @@ type Registry struct {
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		metrics: make(map[string]interface{}),
 		help:    make(map[string]string),
 	}
+	// The tracer's done-ring eviction count is part of the exposition from
+	// the start: a silent span drop is exactly the failure mode the counter
+	// exists to surface.
+	r.tracer.droppedCounter = r.Counter("lake_tracer_dropped_spans_total",
+		"completed spans evicted from the tracer's bounded done-ring")
+	return r
 }
 
 // Tracer returns the registry's span tracer (nil for a nil registry).

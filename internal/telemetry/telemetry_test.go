@@ -33,7 +33,7 @@ func TestNilRegistryHandsOutNoOps(t *testing.T) {
 	if tr.Enabled() {
 		t.Fatal("nil tracer must be disabled")
 	}
-	if sp, owner := tr.StartSpan("x", 1, 0); sp != nil || owner {
+	if sp, owner := tr.StartSpan("x", 1, 0, 1); sp != nil || owner {
 		t.Fatal("nil tracer must not produce spans")
 	}
 	if r.PrometheusText() != "" {

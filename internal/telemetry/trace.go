@@ -24,9 +24,10 @@ type Stage struct {
 // flush that additionally carries the coalesce stage. Spans are created by
 // a Tracer; a nil *Span is a no-op.
 type Span struct {
-	name   string
-	seq    uint64
-	vstart time.Duration
+	name    string
+	seq     uint64
+	traceID uint64
+	vstart  time.Duration
 
 	mu     sync.Mutex
 	vend   time.Duration
@@ -35,11 +36,12 @@ type Span struct {
 
 // spanJSON is the exported shape of a span.
 type spanJSON struct {
-	Name   string        `json:"name"`
-	Seq    uint64        `json:"seq"`
-	VStart time.Duration `json:"v_start_ns"`
-	VEnd   time.Duration `json:"v_end_ns"`
-	Stages []Stage       `json:"stages"`
+	Name    string        `json:"name"`
+	Seq     uint64        `json:"seq"`
+	TraceID uint64        `json:"trace_id,omitempty"`
+	VStart  time.Duration `json:"v_start_ns"`
+	VEnd    time.Duration `json:"v_end_ns"`
+	Stages  []Stage       `json:"stages"`
 }
 
 // Name returns the span's operation name ("" for nil).
@@ -48,6 +50,14 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// TraceID returns the trace ID the span is keyed by (0 for nil or untraced).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
 }
 
 // AddStage records a completed stage with explicit virtual bounds. Callers
@@ -105,27 +115,39 @@ func (s *Span) snapshot() spanJSON {
 	defer s.mu.Unlock()
 	st := make([]Stage, len(s.stages))
 	copy(st, s.stages)
-	return spanJSON{Name: s.name, Seq: s.seq, VStart: s.vstart, VEnd: s.vend, Stages: st}
+	return spanJSON{Name: s.name, Seq: s.seq, TraceID: s.traceID,
+		VStart: s.vstart, VEnd: s.vend, Stages: st}
 }
 
 // maxDoneSpans bounds the tracer's completed-span ring.
 const maxDoneSpans = 64
 
-// Tracer produces spans when enabled. It is designed for tracing one
-// logical call at a time (the debugging workflow: enable, issue the call,
-// export the timeline): StartSpan hands the current open span to nested
-// components — the batcher opens a flush span, and the remoted call it
-// issues attaches its stages to that same span instead of opening a second
-// one. It is safe for concurrent use, but concurrent unrelated calls while
-// enabled will interleave stages into whichever span is open.
+// Tracer produces spans when enabled. Open spans are keyed by trace ID, so
+// concurrent unrelated calls each get their own span: StartSpan with a
+// trace ID that already has an open span joins it (the batcher opens a
+// flush span, and the remoted call it issues under the same trace ID
+// attaches its stages there instead of opening a second one), while a
+// fresh trace ID opens a fresh span. Trace ID 0 — components running
+// without the flight recorder's allocator — degenerates to the historical
+// one-open-span behavior, all untraced callers sharing one span.
+//
+// Completed spans land in a bounded ring; evictions past maxDoneSpans are
+// counted by DroppedSpans (and the lake_tracer_dropped_spans_total counter
+// when the tracer belongs to a Registry), never silent.
 //
 // A nil *Tracer is a permanently disabled no-op.
 type Tracer struct {
 	enabled atomic.Bool
+	dropped atomic.Int64
 
-	mu   sync.Mutex
-	cur  *Span
-	done []*Span // most recent maxDoneSpans, oldest first
+	// droppedCounter mirrors dropped into the registry's exposition; set at
+	// registry construction, nil for bare tracers.
+	droppedCounter *Counter
+
+	mu    sync.Mutex
+	open  map[uint64]*Span
+	order []uint64 // open trace IDs, oldest first (for Current)
+	done  []*Span  // most recent maxDoneSpans, oldest first
 }
 
 // SetEnabled switches tracing on or off. No-op on nil.
@@ -141,37 +163,58 @@ func (t *Tracer) Enabled() bool {
 	return t != nil && t.enabled.Load()
 }
 
-// StartSpan opens a span at virtual instant vnow, or joins the currently
-// open one. owner reports whether the caller opened the span and must
-// close it with FinishSpan; a joiner only attaches stages. Returns
-// (nil, false) when disabled.
-func (t *Tracer) StartSpan(name string, seq uint64, vnow time.Duration) (sp *Span, owner bool) {
+// StartSpan opens a span for traceID at virtual instant vnow, or joins the
+// span already open under that trace ID. owner reports whether the caller
+// opened the span and must close it with FinishSpan; a joiner only attaches
+// stages. Returns (nil, false) when disabled.
+func (t *Tracer) StartSpan(name string, seq uint64, vnow time.Duration, traceID uint64) (sp *Span, owner bool) {
 	if !t.Enabled() {
 		return nil, false
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.cur != nil {
-		return t.cur, false
+	if cur := t.open[traceID]; cur != nil {
+		return cur, false
 	}
-	t.cur = &Span{name: name, seq: seq, vstart: vnow}
-	return t.cur, true
+	if t.open == nil {
+		t.open = make(map[uint64]*Span)
+	}
+	sp = &Span{name: name, seq: seq, traceID: traceID, vstart: vnow}
+	t.open[traceID] = sp
+	t.order = append(t.order, traceID)
+	return sp, true
 }
 
-// Current returns the open span, if any. Components that only ever attach
-// stages (lakeD's dispatcher) use this instead of StartSpan. Costs one
-// atomic load when tracing is disabled — hot paths call it unconditionally.
+// Open returns the span open under traceID, if any. Components that only
+// ever attach stages (lakeD's dispatcher) use this instead of StartSpan.
+// Costs one atomic load when tracing is disabled — hot paths call it
+// unconditionally.
+func (t *Tracer) Open(traceID uint64) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open[traceID]
+}
+
+// Current returns the most recently opened span still open, if any — the
+// single-call debugging workflow's view (enable, issue one call, export).
 func (t *Tracer) Current() *Span {
 	if !t.Enabled() {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.cur
+	if n := len(t.order); n > 0 {
+		return t.open[t.order[n-1]]
+	}
+	return nil
 }
 
 // FinishSpan closes an owned span at virtual instant vnow and moves it to
-// the completed ring.
+// the completed ring. Evicting a completed span past the ring bound bumps
+// the dropped-span counter.
 func (t *Tracer) FinishSpan(sp *Span, vnow time.Duration) {
 	if t == nil || sp == nil {
 		return
@@ -180,14 +223,35 @@ func (t *Tracer) FinishSpan(sp *Span, vnow time.Duration) {
 	sp.vend = vnow
 	sp.mu.Unlock()
 	t.mu.Lock()
-	if t.cur == sp {
-		t.cur = nil
+	if t.open[sp.traceID] == sp {
+		delete(t.open, sp.traceID)
+		for i, id := range t.order {
+			if id == sp.traceID {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				break
+			}
+		}
 	}
 	t.done = append(t.done, sp)
+	var evicted int64
 	if len(t.done) > maxDoneSpans {
+		evicted = int64(len(t.done) - maxDoneSpans)
 		t.done = append(t.done[:0], t.done[len(t.done)-maxDoneSpans:]...)
 	}
 	t.mu.Unlock()
+	if evicted > 0 {
+		t.dropped.Add(evicted)
+		t.droppedCounter.Add(evicted)
+	}
+}
+
+// DroppedSpans reports how many completed spans have been evicted from the
+// done-ring since construction (0 for nil).
+func (t *Tracer) DroppedSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
 }
 
 // Spans returns the completed spans, oldest first.
@@ -202,7 +266,7 @@ func (t *Tracer) Spans() []*Span {
 	return out
 }
 
-// Reset discards completed spans (the open span, if any, is kept).
+// Reset discards completed spans (open spans, if any, are kept).
 func (t *Tracer) Reset() {
 	if t == nil {
 		return

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"encoding/json"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -12,7 +14,7 @@ func TestTracerDisabledByDefault(t *testing.T) {
 	if tr.Enabled() {
 		t.Fatal("tracer must start disabled")
 	}
-	sp, owner := tr.StartSpan("call", 1, 0)
+	sp, owner := tr.StartSpan("call", 1, 0, 1)
 	if sp != nil || owner {
 		t.Fatal("disabled tracer must not produce spans")
 	}
@@ -29,13 +31,16 @@ func TestSpanOwnership(t *testing.T) {
 	tr := r.Tracer()
 	tr.SetEnabled(true)
 
-	outer, owner := tr.StartSpan("flush", 7, 100)
+	outer, owner := tr.StartSpan("flush", 7, 100, 42)
 	if outer == nil || !owner {
 		t.Fatal("first StartSpan must create and own the span")
 	}
-	inner, innerOwner := tr.StartSpan("call", 8, 150)
+	if outer.TraceID() != 42 {
+		t.Fatalf("span trace id = %d, want 42", outer.TraceID())
+	}
+	inner, innerOwner := tr.StartSpan("call", 8, 150, 42)
 	if inner != outer {
-		t.Fatal("nested StartSpan must join the open span")
+		t.Fatal("StartSpan under the same trace id must join the open span")
 	}
 	if innerOwner {
 		t.Fatal("joiner must not own the span")
@@ -70,7 +75,7 @@ func TestTimelineJSON(t *testing.T) {
 	r := NewRegistry()
 	tr := r.Tracer()
 	tr.SetEnabled(true)
-	sp, _ := tr.StartSpan("infer", 42, 1000)
+	sp, _ := tr.StartSpan("infer", 42, 1000, 9)
 	sp.AddStage("marshal", 1000, 1000, 3*time.Microsecond)
 	sp.AddStage("channel", 1000, 31000, time.Microsecond)
 	tr.FinishSpan(sp, 31000)
@@ -111,7 +116,7 @@ func TestSpanRingBounded(t *testing.T) {
 	tr := r.Tracer()
 	tr.SetEnabled(true)
 	for i := 0; i < maxDoneSpans+10; i++ {
-		sp, _ := tr.StartSpan("s", uint64(i), 0)
+		sp, _ := tr.StartSpan("s", uint64(i), 0, uint64(i+1))
 		tr.FinishSpan(sp, 0)
 	}
 	spans := tr.Spans()
@@ -122,8 +127,93 @@ func TestSpanRingBounded(t *testing.T) {
 	if spans[0].seq != 10 {
 		t.Fatalf("first surviving span seq = %d, want 10", spans[0].seq)
 	}
+	// ... and the evictions are counted, never silent.
+	if got := tr.DroppedSpans(); got != 10 {
+		t.Fatalf("DroppedSpans = %d, want 10", got)
+	}
+	if got := r.Counter("lake_tracer_dropped_spans_total", "").Value(); got != 10 {
+		t.Fatalf("dropped-span counter = %d, want 10", got)
+	}
 	tr.Reset()
 	if len(tr.Spans()) != 0 {
 		t.Fatal("Reset must clear completed spans")
+	}
+	if got := tr.DroppedSpans(); got != 10 {
+		t.Fatalf("Reset must not zero the dropped count, got %d", got)
+	}
+}
+
+// TestTracerKeyedByTraceID is the concurrency contract the flight recorder
+// relies on: spans for distinct trace IDs are independent, Open finds a
+// span by its trace ID, and trace ID 0 keeps the legacy shared-span shape.
+func TestTracerKeyedByTraceID(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	tr.SetEnabled(true)
+
+	a, aOwner := tr.StartSpan("callA", 1, 100, 11)
+	b, bOwner := tr.StartSpan("callB", 2, 120, 22)
+	if !aOwner || !bOwner || a == b {
+		t.Fatal("distinct trace ids must open distinct owned spans")
+	}
+	if tr.Open(11) != a || tr.Open(22) != b || tr.Open(33) != nil {
+		t.Fatal("Open must find spans by trace id")
+	}
+	if tr.Current() != b {
+		t.Fatal("Current must return the most recently opened span")
+	}
+	tr.FinishSpan(b, 200)
+	if tr.Current() != a || tr.Open(22) != nil {
+		t.Fatal("finishing one span must not disturb the other")
+	}
+	tr.FinishSpan(a, 300)
+	if tr.Current() != nil {
+		t.Fatal("all spans finished, Current must be nil")
+	}
+
+	// Trace ID 0: untraced callers share one span, as before the rework.
+	z1, z1Owner := tr.StartSpan("legacy", 3, 0, 0)
+	z2, z2Owner := tr.StartSpan("legacy2", 4, 0, 0)
+	if !z1Owner || z2Owner || z1 != z2 {
+		t.Fatal("trace id 0 must keep the one-open-span behavior")
+	}
+	tr.FinishSpan(z1, 10)
+
+	if exported := r.PrometheusText(); !strings.Contains(exported, "lake_tracer_dropped_spans_total 0") {
+		t.Fatalf("dropped-span counter missing from exposition:\n%s", exported)
+	}
+}
+
+// TestConcurrentSpansUnderRace drives many goroutines through their own
+// trace IDs at once — under -race this is the proof the reworked tracer is
+// concurrent-safe, not just keyed.
+func TestConcurrentSpansUnderRace(t *testing.T) {
+	r := NewRegistry()
+	tr := r.Tracer()
+	tr.SetEnabled(true)
+	var wg sync.WaitGroup
+	for w := 1; w <= 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tid := uint64(w)<<32 | uint64(i+1)
+				sp, owner := tr.StartSpan("c", uint64(i), 0, tid)
+				if sp == nil || !owner {
+					t.Error("concurrent StartSpan must own a fresh span per trace id")
+					return
+				}
+				sp.StageTimer("dispatch", 0).End(10)
+				if tr.Open(tid) != sp {
+					t.Error("Open lost a concurrent span")
+					return
+				}
+				tr.FinishSpan(sp, 10)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.DroppedSpans(); got != 8*200-maxDoneSpans {
+		t.Fatalf("DroppedSpans = %d, want %d", got, 8*200-maxDoneSpans)
 	}
 }

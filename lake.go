@@ -32,6 +32,7 @@ import (
 	"lakego/internal/cuda"
 	"lakego/internal/faults"
 	"lakego/internal/features"
+	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
 	"lakego/internal/policy"
@@ -174,6 +175,34 @@ type (
 // DefaultBatcherConfig returns the batching defaults (32-item target
 // batches, 100µs max-wait flush deadline).
 func DefaultBatcherConfig() BatcherConfig { return batcher.DefaultConfig() }
+
+// Flight-recorder types (internal/flightrec): every telemetry-enabled
+// runtime carries an always-on, lock-minimal flight recorder — per-domain
+// rings of fixed-size binary events with explicit loss counters, reachable
+// via Runtime.FlightRecorder(). Dumps trigger automatically on supervisor
+// Dead/Restarting transitions and daemon crashes, on demand via
+// Snapshot/TriggerDump, and over HTTP via laked's /flightrec.dump and
+// /flightrec.json endpoints; cmd/laketrace stitches a dump back into
+// per-call cross-domain timelines (see DESIGN.md).
+type (
+	// FlightRecorder is the per-runtime event recorder.
+	FlightRecorder = flightrec.Recorder
+	// FlightDump is one recorder snapshot, the crash artifact.
+	FlightDump = flightrec.Dump
+	// FlightEvent is one fixed-size recorded event.
+	FlightEvent = flightrec.Event
+	// FlightTimeline is one remoted call stitched across domains.
+	FlightTimeline = flightrec.Timeline
+	// FlightStitch is the reconstruction of a dump.
+	FlightStitch = flightrec.StitchResult
+)
+
+// ReadFlightDump parses a flight-recorder dump from either its binary or
+// JSON encoding.
+func ReadFlightDump(data []byte) (*FlightDump, error) { return flightrec.ReadDump(data) }
+
+// StitchFlightDump rebuilds per-call cross-domain timelines from a dump.
+func StitchFlightDump(d *FlightDump) *FlightStitch { return flightrec.Stitch(d) }
 
 // Fault-injection and recovery types (internal/faults, internal/core
 // supervision, internal/remoting resilience). Set Config.Faults to attach

@@ -24,10 +24,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	lake "lakego"
 	"lakego/internal/cuda"
 	"lakego/internal/experiments"
+	"lakego/internal/linnos"
+	"lakego/internal/nn"
 )
 
 // bootInstrumented boots a runtime with tracing armed and drives the
@@ -99,11 +102,63 @@ func driveWorkload(rt *lake.Runtime) error {
 	return nil
 }
 
+// bootFleet boots an instrumented fleet and drives a deterministic
+// multi-tenant LinnOS storm through the client-side router: 2*shards
+// tenants, 32 single-request inferences each, issued serially so tenant
+// placement — and with it every per-shard virtual-time counter — is
+// identical run over run under any routing policy.
+func bootFleet(shards int, routerPolicy lake.PoolPolicy) (*lake.Fleet, error) {
+	cfg := lake.DefaultConfig()
+	cfg.TraceCalls = true
+	cfg.NumShards = shards
+	cfg.RouterPolicy = routerPolicy
+	bcfg := lake.DefaultBatcherConfig()
+	bcfg.Linger = 0
+	f, err := lake.NewFleet(lake.FleetConfig{Runtime: cfg, Batcher: bcfg})
+	if err != nil {
+		return nil, err
+	}
+	net := nn.New(3, linnos.Base.Sizes()...)
+	if err := f.RegisterModel(lake.BatcherModel{
+		Name:       "linnos",
+		InputWidth: linnos.InputWidth, OutputWidth: 2,
+		MaxBatch:     linnos.MaxBatch,
+		CPUPerItem:   linnos.Base.CPUInferCost(),
+		FlopsPerItem: net.Flops(),
+		Forward:      net.Forward,
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	tenants := 2 * shards
+	for r := 0; r < 32; r++ {
+		for t := 0; t < tenants; t++ {
+			x := linnos.FeatureVector((t*31+r*7)%97, []time.Duration{
+				time.Duration((t+r)%11) * 200 * time.Microsecond,
+			})
+			if _, err := f.Client(fmt.Sprintf("tenant-%d", t)).Infer("linnos", [][]float32{x}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("tenant %d round %d: %w", t, r, err)
+			}
+		}
+	}
+	return f, nil
+}
+
 // runMetricsDemo prints the instrumented workload's Prometheus exposition
 // followed by the traced span timeline — the CLI face of the observability
 // plane. With devices > 1 the runtime boots a multi-GPU pool and the
 // exposition carries per-device labeled series.
-func runMetricsDemo(devices int, poolPolicy lake.PoolPolicy) error {
+func runMetricsDemo(devices int, poolPolicy lake.PoolPolicy, shards int, routerPolicy lake.PoolPolicy) error {
+	if shards > 1 {
+		f, err := bootFleet(shards, routerPolicy)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Print(f.PrometheusText())
+		return nil
+	}
 	rt, err := bootInstrumented(devices, poolPolicy)
 	if err != nil {
 		return err
@@ -133,7 +188,10 @@ type benchResults struct {
 // runtime counters plus the per-stage latency means the flight recorder's
 // stitched timelines report (the Fig 5/6 stages). All values are
 // virtual-clock derived and therefore deterministic run over run.
-func writeResults(path string, devices int, poolPolicy lake.PoolPolicy) error {
+func writeResults(path string, devices int, poolPolicy lake.PoolPolicy, shards int, routerPolicy lake.PoolPolicy) error {
+	if shards > 1 {
+		return writeFleetResults(path, shards, routerPolicy)
+	}
 	rt, err := bootInstrumented(devices, poolPolicy)
 	if err != nil {
 		return err
@@ -192,6 +250,61 @@ func writeResults(path string, devices int, poolPolicy lake.PoolPolicy) error {
 	return nil
 }
 
+// writeFleetResults is the -shards > 1 results path: the fleet storm's
+// router counters plus one per-shard counter group, all virtual-clock
+// derived and deterministic, in the same benchdiff-compatible schema.
+func writeFleetResults(path string, shards int, routerPolicy lake.PoolPolicy) error {
+	f, err := bootFleet(shards, routerPolicy)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	st := f.Stats()
+	res := benchResults{
+		Note:       "generated by lakebench -results -shards: virtual-time metrics of the fleet storm",
+		Benchmarks: make(map[string]map[string]float64),
+	}
+	var requests int64
+	for _, sh := range f.Shards() {
+		requests += sh.Batcher().Stats().Requests
+	}
+	elapsed := f.VirtualElapsed()
+	fleet := map[string]float64{
+		"shards":     float64(shards),
+		"requests":   float64(requests),
+		"placements": float64(st.Placements),
+		"reroutes":   float64(st.Reroutes),
+		"virtual_ns": float64(elapsed),
+	}
+	if elapsed > 0 {
+		fleet["virtual_req_per_s"] = float64(requests) / (float64(elapsed) / 1e9)
+	}
+	res.Benchmarks["Lakebench/fleet"] = fleet
+	for _, sh := range f.Shards() {
+		bs := sh.Batcher().Stats()
+		rst := sh.Runtime().Stats()
+		res.Benchmarks[fmt.Sprintf("Lakebench/fleet/shard=%d", sh.Ordinal())] = map[string]float64{
+			"requests":        float64(bs.Requests),
+			"flushes":         float64(bs.Flushes),
+			"avg_batch":       bs.AvgBatch(),
+			"daemon_handled":  float64(rst.DaemonHandled),
+			"kernel_launches": float64(rst.KernelLaunches),
+			"virtual_ns":      float64(sh.Clock().Now()),
+		}
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("lakebench: wrote %d benchmark groups to %s\n", len(res.Benchmarks), path)
+	return nil
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	exp := flag.String("exp", "", "experiment id to run, or 'all'")
@@ -200,6 +313,8 @@ func main() {
 	results := flag.String("results", "", "run the instrumented workload and write machine-readable metrics (BENCH_BASELINE.json schema) to this file")
 	devices := flag.Int("devices", 1, "number of modeled GPUs in the device pool (for -metrics)")
 	poolPolicy := flag.String("pool-policy", "contention-aware", "context placement policy: round-robin, least-outstanding, contention-aware")
+	shards := flag.Int("shards", 1, "number of lakeD shards; >1 runs the -metrics/-results workload through a fleet")
+	routerPolicy := flag.String("router-policy", "consistent-hash", "fleet shard placement policy: round-robin, least-outstanding, contention-aware, consistent-hash")
 	flag.Parse()
 
 	if *list {
@@ -214,13 +329,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		rp, err := lake.ParsePoolPolicy(*routerPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if *metrics {
-			if err := runMetricsDemo(*devices, policy); err != nil {
+			if err := runMetricsDemo(*devices, policy, *shards, rp); err != nil {
 				log.Fatal(err)
 			}
 		}
 		if *results != "" {
-			if err := writeResults(*results, *devices, policy); err != nil {
+			if err := writeResults(*results, *devices, policy, *shards, rp); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -18,10 +19,10 @@ func TestWriteResultsDeterministic(t *testing.T) {
 	dir := t.TempDir()
 	a := filepath.Join(dir, "a.json")
 	b := filepath.Join(dir, "b.json")
-	if err := writeResults(a, 1, lake.PoolContentionAware); err != nil {
+	if err := writeResults(a, 1, lake.PoolContentionAware, 1, lake.PoolConsistentHash); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeResults(b, 1, lake.PoolContentionAware); err != nil {
+	if err := writeResults(b, 1, lake.PoolContentionAware, 1, lake.PoolConsistentHash); err != nil {
 		t.Fatal(err)
 	}
 	da, err := os.ReadFile(a)
@@ -55,5 +56,51 @@ func TestWriteResultsDeterministic(t *testing.T) {
 		if stages[key] <= 0 {
 			t.Fatalf("stage metric %s not populated: %v", key, stages)
 		}
+	}
+}
+
+// TestWriteFleetResultsDeterministic pins the -shards results contract:
+// router plus per-shard counter groups, deterministic run over run.
+func TestWriteFleetResultsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	for _, path := range []string{a, b} {
+		if err := writeResults(path, 1, lake.PoolContentionAware, 2, lake.PoolRoundRobin); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatalf("fleet results differ across identical runs:\n%s\nvs\n%s", da, db)
+	}
+	var res benchResults
+	if err := json.Unmarshal(da, &res); err != nil {
+		t.Fatalf("results not in the baseline schema: %v", err)
+	}
+	fleet, ok := res.Benchmarks["Lakebench/fleet"]
+	if !ok {
+		t.Fatalf("missing Lakebench/fleet group: %v", res.Benchmarks)
+	}
+	if fleet["requests"] <= 0 || fleet["virtual_req_per_s"] <= 0 || fleet["shards"] != 2 {
+		t.Fatalf("fleet metrics not populated: %v", fleet)
+	}
+	var requests float64
+	for ord := 0; ord < 2; ord++ {
+		sh, ok := res.Benchmarks[fmt.Sprintf("Lakebench/fleet/shard=%d", ord)]
+		if !ok {
+			t.Fatalf("missing shard %d group: %v", ord, res.Benchmarks)
+		}
+		requests += sh["requests"]
+	}
+	if requests != fleet["requests"] {
+		t.Fatalf("per-shard requests sum %v != fleet total %v", requests, fleet["requests"])
 	}
 }

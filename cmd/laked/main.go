@@ -14,17 +14,23 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
+	"time"
 
 	lake "lakego"
 	"lakego/internal/boundary"
 	"lakego/internal/cuda"
+	"lakego/internal/linnos"
+	"lakego/internal/nn"
 	"lakego/internal/shm"
 )
 
@@ -89,6 +95,134 @@ func serveTelemetry(rt *lake.Runtime, addr string) {
 	log.Printf("telemetry on http://%s/metrics (.json, /spans.json, /flightrec.{dump,json}, /debug/pprof)", addr)
 }
 
+// serveFleetTelemetry mounts the fleet's merged observability endpoints —
+// the union of every shard's registry plus the router's own counters, all
+// shard-labeled — and the shared flight recorder.
+func serveFleetTelemetry(f *lake.Fleet, addr string) {
+	if f.Telemetry() == nil {
+		log.Fatal("-telemetry-addr requires telemetry (do not set -no-telemetry)")
+	}
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = io.WriteString(w, f.PrometheusText())
+	})
+	http.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := json.MarshalIndent(f.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(b)
+	})
+	http.HandleFunc("/flightrec.dump", func(w http.ResponseWriter, req *http.Request) {
+		rec := f.Recorder()
+		if rec == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(rec.Snapshot("http").Encode())
+	})
+	http.HandleFunc("/flightrec.json", func(w http.ResponseWriter, req *http.Request) {
+		rec := f.Recorder()
+		if rec == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		b, err := rec.Snapshot("http").JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Fatalf("telemetry endpoint: %v", err)
+		}
+	}()
+	log.Printf("fleet telemetry on http://%s/metrics (.json, /flightrec.{dump,json}, /debug/pprof)", addr)
+}
+
+// runFleetDemo is the -shards > 1 path: boot a fleet of independent lakeD
+// shards behind the client-side router, drive a multi-tenant LinnOS
+// inference storm through it, print the per-shard and router statistics,
+// and finish with a live drain so the journal-handoff migration shows up
+// in the demo output.
+func runFleetDemo(cfg lake.Config, shards int, policy lake.PoolPolicy, calls int, telemetryAddr string, stay bool) {
+	cfg.NumShards = shards
+	cfg.RouterPolicy = policy
+	f, err := lake.NewFleet(lake.FleetConfig{Runtime: cfg, Batcher: lake.DefaultBatcherConfig()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if telemetryAddr != "" {
+		serveFleetTelemetry(f, telemetryAddr)
+	}
+	net := nn.New(3, linnos.Base.Sizes()...)
+	if err := f.RegisterModel(lake.BatcherModel{
+		Name:       "linnos",
+		InputWidth: linnos.InputWidth, OutputWidth: 2,
+		MaxBatch:     linnos.MaxBatch,
+		CPUPerItem:   linnos.Base.CPUInferCost(),
+		FlopsPerItem: net.Flops(),
+		Forward:      net.Forward,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	const tenants = 8
+	per := calls / tenants
+	var wg sync.WaitGroup
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			c := f.Client(fmt.Sprintf("tenant-%d", t))
+			for r := 0; r < per; r++ {
+				x := linnos.FeatureVector((t*31+r*7)%97, []time.Duration{
+					time.Duration((t+r)%11) * 200 * time.Microsecond,
+				})
+				if _, err := c.Infer("linnos", [][]float32{x}); err != nil {
+					log.Fatalf("tenant %d: %v", t, err)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	st := f.Stats()
+	fmt.Printf("lakeD fleet served %d tenants across %d shards (%s routing):\n",
+		tenants, shards, f.Policy())
+	fmt.Printf("  placements %d  reroutes %d  admission rejects %d\n",
+		st.Placements, st.Reroutes, st.Rejects)
+	for _, sh := range f.Shards() {
+		bs := sh.Batcher().Stats()
+		rst := sh.Runtime().Stats()
+		fmt.Printf("  shard %d [%s]: %d requests, %d daemon handled, %d launches, %d flushes (avg batch %.1f), v=%v\n",
+			sh.Ordinal(), sh.State(), bs.Requests, rst.DaemonHandled,
+			rst.KernelLaunches, bs.Flushes, bs.AvgBatch(), sh.Clock().Now())
+	}
+	fmt.Printf("  fleet virtual elapsed (critical path) %v\n", f.VirtualElapsed())
+
+	m, err := f.Drain(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  drained shard %d -> %d: %d journal entries crossed in a %dB sealed frame, %d tenants re-homed\n",
+		m.Src, m.Dst, m.JournalEntries, m.HandoffBytes, m.Tenants)
+
+	if stay && telemetryAddr != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		fmt.Println("serving fleet telemetry; ctrl-c to exit")
+		<-sig
+	}
+}
+
 func main() {
 	calls := flag.Int("calls", 1000, "number of remoted vector-add rounds to serve")
 	n := flag.Int("n", 256, "vector length per round")
@@ -99,6 +233,8 @@ func main() {
 	serve := flag.Bool("serve", false, "after the demo burst, keep serving the telemetry endpoints until interrupted")
 	devices := flag.Int("devices", 1, "number of modeled GPUs in the device pool")
 	poolPolicy := flag.String("pool-policy", "contention-aware", "context placement policy: round-robin, least-outstanding, contention-aware")
+	shards := flag.Int("shards", 1, "number of lakeD shards; >1 boots a fleet behind the client-side router")
+	routerPolicy := flag.String("router-policy", "consistent-hash", "fleet shard placement policy: round-robin, least-outstanding, contention-aware, consistent-hash")
 	flag.Parse()
 
 	cfg := lake.DefaultConfig()
@@ -122,6 +258,14 @@ func main() {
 	}
 	cfg.DisableTelemetry = *noTelemetry
 	cfg.TraceCalls = *traceCalls
+	if *shards > 1 {
+		rp, err := lake.ParsePoolPolicy(*routerPolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runFleetDemo(cfg, *shards, rp, *calls, *telemetryAddr, *serve)
+		return
+	}
 	rt, err := lake.New(cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -31,6 +31,52 @@ import (
 
 func apiName(id uint64) string { return remoting.APIID(id).String() }
 
+// routerSummary reports fleet routing activity when the dump carries any:
+// placements and re-routes from the router domain, each completed
+// migration, and how the stitched calls spread across shards. Single-shard
+// dumps have no router domain traffic and print nothing.
+func routerSummary(w io.Writer, d *flightrec.Dump, res *flightrec.StitchResult) {
+	var placements, reroutes int
+	var migrations []flightrec.Event
+	for _, dd := range d.Domains {
+		if dd.Domain != flightrec.DomainRouter {
+			continue
+		}
+		for _, e := range dd.Events {
+			switch e.Kind {
+			case flightrec.EvRoute:
+				placements++
+				if e.Arg1 == 1 {
+					reroutes++
+				}
+			case flightrec.EvMigrateEnd:
+				migrations = append(migrations, e)
+			}
+		}
+	}
+	if placements == 0 && len(migrations) == 0 {
+		return
+	}
+	perShard := make(map[int]int)
+	maxShard := 0
+	for _, t := range res.Timelines {
+		perShard[t.Shard]++
+		if t.Shard > maxShard {
+			maxShard = t.Shard
+		}
+	}
+	spread := ""
+	for s := 0; s <= maxShard; s++ {
+		spread += fmt.Sprintf(" %d:%d", s, perShard[s])
+	}
+	fmt.Fprintf(w, "router: %d placements (%d re-routed), %d migrations; calls per shard:%s\n",
+		placements, reroutes, len(migrations), spread)
+	for _, e := range migrations {
+		fmt.Fprintf(w, "  migration: shard %d -> %d, %d journal entries moved\n",
+			e.Arg0, e.Arg1, e.Arg2)
+	}
+}
+
 // run is the testable entry point; returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("laketrace", flag.ContinueOnError)
@@ -68,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dump.Reason, dump.VNow, dump.TotalEvents(), len(dump.Domains), res.Dropped)
 	fmt.Fprintf(stdout, "%d calls stitched: %d completed, %d with the full cross-domain chain\n",
 		len(res.Timelines), res.Completed, res.Complete)
+	routerSummary(stdout, dump, res)
 
 	if *breakdown {
 		fmt.Fprint(stdout, "\n", flightrec.BreakdownTable(res.Timelines, apiName))
@@ -76,14 +123,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, "\n", flightrec.TailAttribution(res.Timelines, *tail, apiName))
 	}
 	if *calls {
-		fmt.Fprintf(stdout, "\n%-10s %-24s %8s %10s %8s %s\n", "trace", "api", "seq", "total_us", "retries", "missing")
+		fmt.Fprintf(stdout, "\n%-10s %-24s %8s %5s %10s %8s %s\n", "trace", "api", "seq", "shard", "total_us", "retries", "missing")
 		for _, t := range res.Timelines {
 			missing := ""
 			if len(t.Missing) > 0 {
 				missing = fmt.Sprint(t.Missing)
 			}
-			fmt.Fprintf(stdout, "%-10d %-24s %8d %10.2f %8d %s\n",
-				t.TraceID, apiName(t.API), t.Seq, float64(t.Total())/float64(time.Microsecond), t.Retries, missing)
+			fmt.Fprintf(stdout, "%-10d %-24s %8d %5d %10.2f %8d %s\n",
+				t.TraceID, apiName(t.API), t.Seq, t.Shard, float64(t.Total())/float64(time.Microsecond), t.Retries, missing)
 		}
 	}
 	if *chrome != "" {

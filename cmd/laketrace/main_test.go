@@ -7,9 +7,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	lake "lakego"
 	"lakego/internal/cuda"
+	"lakego/internal/nn"
 )
 
 // produceDump boots an instrumented runtime, pushes a short remoted
@@ -139,5 +141,76 @@ func TestLaketraceRejectsGarbage(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "not a flight-recorder dump") {
 		t.Fatalf("unexpected error output: %s", stderr.String())
+	}
+}
+
+// produceFleetDump pushes a short storm through a 2-shard fleet, drains
+// shard 0 mid-run, and snapshots the fleet's shared flight recorder — the
+// routing-enabled sibling of produceDump.
+func produceFleetDump(t *testing.T) *lake.FlightDump {
+	t.Helper()
+	rcfg := lake.DefaultConfig()
+	rcfg.TraceCalls = true
+	rcfg.NumShards = 2
+	rcfg.RouterPolicy = lake.PoolRoundRobin
+	bcfg := lake.DefaultBatcherConfig()
+	bcfg.MaxBatch = 4
+	bcfg.MaxWait = 100 * time.Microsecond
+	bcfg.Linger = 0
+	f, err := lake.NewFleet(lake.FleetConfig{Runtime: rcfg, Batcher: bcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	net := nn.New(7, 4, 8, 2)
+	if err := f.RegisterModel(lake.BatcherModel{
+		Name: "tracenet", InputWidth: 4, OutputWidth: 2, MaxBatch: 8,
+		FlopsPerItem: net.Flops(), Forward: net.Forward,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	infer := func(tenant string) {
+		c := f.Client(tenant)
+		for r := 0; r < 8; r++ {
+			if _, err := c.Infer("tracenet", [][]float32{{1, 2, 3, float32(r)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	infer("tenant-a")
+	infer("tenant-b")
+	if _, err := f.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	infer("tenant-a") // re-routed traffic after the drain
+	dump := f.Recorder().TriggerDump("laketrace-fleet-test")
+	if dump == nil {
+		t.Fatal("fleet has no flight-recorder dump")
+	}
+	return dump
+}
+
+func TestLaketraceFleetRouting(t *testing.T) {
+	dump := produceFleetDump(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.bin")
+	if err := os.WriteFile(path, dump.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-calls", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("laketrace exited %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"router: ",
+		"calls per shard:",
+		"migration: shard 0 -> 1",
+		"shard", // the -calls column
+		"route(w)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("laketrace fleet output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -452,6 +452,11 @@ type Pending struct {
 // Latency reports enqueue-to-delivery virtual time; valid after Wait.
 func (p *Pending) Latency() time.Duration { return p.doneAt - p.enq }
 
+// TraceID returns the request's flight-recorder trace ID (0 when
+// untraced), letting outer layers — the fleet router — tag their own
+// events onto the same per-call timeline.
+func (p *Pending) TraceID() uint64 { return p.tid }
+
 // Submit enqueues items (each of the model's input width) as one request
 // and returns a Pending handle. It fails fast with ErrBackpressure when the
 // client is at depth or lakeShm cannot stage the request. If the submission

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"lakego/internal/batcher"
@@ -85,6 +86,37 @@ type Config struct {
 	// FlightRecorderSize is the per-domain ring capacity in events (default
 	// flightrec.DefaultRingSize = 4096).
 	FlightRecorderSize int
+
+	// NumShards, RouterPolicy and RouterSeed parameterize a sharded fleet
+	// (internal/fleet): NumShards > 1 boots that many independent lakeD
+	// runtimes behind a client-side router placing tenants by RouterPolicy
+	// over a PRNG/ring seeded with RouterSeed. New ignores all three — a
+	// single runtime is one shard; fleet.New consumes them.
+	NumShards    int
+	RouterPolicy gpupool.Policy
+	RouterSeed   int64
+
+	// Clock, when non-nil, is used instead of a fresh virtual clock. Each
+	// fleet shard runs on its own clock — shards model independent lakeD
+	// processes whose service timelines overlap in real time, so virtual
+	// time is per-shard and the fleet's elapsed time is the maximum over
+	// shards (the critical path), exactly as gpu.Stream timelines only
+	// couple at synchronization points.
+	Clock *vtime.Clock
+	// Recorder, when non-nil, is wired instead of a fresh flight recorder —
+	// typically a shard view (flightrec.WithShard) of a fleet-shared
+	// recorder, so every shard's events land in one set of rings with shard
+	// ordinals stamped on.
+	Recorder *flightrec.Recorder
+	// ShardLabel, when non-empty, appends a shard="<label>" pair to every
+	// metric name this runtime registers, keeping per-shard series distinct
+	// when a fleet merges registries into one exposition. Empty keeps every
+	// name byte-identical to a standalone runtime's.
+	ShardLabel string
+	// ShardOrdinal namespaces lakeLib's wire sequence numbers
+	// (remoting.Lib.SetShardTag) so shard journals can merge without key
+	// collisions during migration. Ordinal 0 keeps the original space.
+	ShardOrdinal int
 }
 
 // DefaultConfig mirrors the paper's deployment: Netlink command channel,
@@ -109,6 +141,7 @@ type Runtime struct {
 	daemon    *remoting.Daemon
 	lib       *remoting.Lib
 	store     *features.Store
+	shardLbl  string
 	plane     *faults.Plane
 	sup       *Supervisor
 	tel       *telemetry.Registry
@@ -127,7 +160,10 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	clock := vtime.New()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vtime.New()
+	}
 	specs := cfg.DeviceSpecs
 	if len(specs) == 0 {
 		n := cfg.NumDevices
@@ -160,6 +196,7 @@ func New(cfg Config) (*Runtime, error) {
 	tr := boundary.NewTransport(cfg.Channel, clock, cfg.QueueDepth)
 	daemon := remoting.NewDaemon(api, region, tr)
 	lib := remoting.NewLib(tr, daemon, region)
+	lib.SetShardTag(cfg.ShardOrdinal)
 	rt := &Runtime{
 		clock:     clock,
 		pool:      pool,
@@ -170,6 +207,7 @@ func New(cfg Config) (*Runtime, error) {
 		daemon:    daemon,
 		lib:       lib,
 		store:     features.NewStore(),
+		shardLbl:  cfg.ShardLabel,
 	}
 	if !cfg.DisableTelemetry {
 		rt.tel = telemetry.NewRegistry()
@@ -179,7 +217,11 @@ func New(cfg Config) (*Runtime, error) {
 		}
 	}
 	if !cfg.DisableTelemetry && !cfg.DisableFlightRecorder {
-		rt.rec = flightrec.New(clock, cfg.FlightRecorderSize)
+		if cfg.Recorder != nil {
+			rt.rec = cfg.Recorder
+		} else {
+			rt.rec = flightrec.New(clock, cfg.FlightRecorderSize)
+		}
 		rt.rec.SetFramePeeker(remoting.PeekFrame)
 		rt.rec.SetEnabled(true)
 		tr.SetFlightRecorder(rt.rec)
@@ -198,9 +240,9 @@ func New(cfg Config) (*Runtime, error) {
 		rt.sup.SetFlightRecorder(rt.rec)
 		if rt.tel != nil {
 			rt.sup.SetTelemetry(SupervisorTelemetry{
-				TransitionsTotal: rt.tel.Counter("lake_supervisor_transitions_total", "Supervisor state transitions recorded."),
-				Restarts:         rt.tel.Counter("lake_supervisor_restarts_total", "lakeD relaunches driven by the supervisor."),
-				State:            rt.tel.Gauge("lake_supervisor_state", "Current lakeD state (0=Healthy 1=Suspected 2=Dead 3=Restarting 4=ReAttached)."),
+				TransitionsTotal: rt.tel.Counter(metricName(rt.shardLbl, "lake_supervisor_transitions_total"), "Supervisor state transitions recorded."),
+				Restarts:         rt.tel.Counter(metricName(rt.shardLbl, "lake_supervisor_restarts_total"), "lakeD relaunches driven by the supervisor."),
+				State:            rt.tel.Gauge(metricName(rt.shardLbl, "lake_supervisor_state"), "Current lakeD state (0=Healthy 1=Suspected 2=Dead 3=Restarting 4=ReAttached)."),
 			})
 		}
 		res := remoting.DefaultResilience()
@@ -218,51 +260,75 @@ func New(cfg Config) (*Runtime, error) {
 	return rt, nil
 }
 
+// metricName composes one series name from its family and label pairs,
+// dropping empty pairs and appending the runtime's shard pair when
+// configured. All label construction in wireTelemetry goes through here:
+// ad-hoc `name+lbl` concatenation is what let per-shard pooled series
+// collide in a merged fleet exposition (two shards' `{device="0"}` were the
+// same string).
+func metricName(shardLabel, family string, pairs ...string) string {
+	var parts []string
+	for _, p := range pairs {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if shardLabel != "" {
+		parts = append(parts, `shard="`+shardLabel+`"`)
+	}
+	if len(parts) == 0 {
+		return family
+	}
+	return family + "{" + strings.Join(parts, ",") + "}"
+}
+
 // wireTelemetry attaches registry-backed instruments to every layer of the
 // freshly built runtime. Called once from New, before any traffic, so each
 // SetTelemetry is a plain construction-time assignment.
 func (r *Runtime) wireTelemetry(cfg Config) {
 	tel := r.tel
-	ch := `{channel="` + cfg.Channel.String() + `"}`
+	name := func(family string, pairs ...string) string { return metricName(r.shardLbl, family, pairs...) }
+	ch := `channel="` + cfg.Channel.String() + `"`
 	r.transport.SetTelemetry(boundary.TransportTelemetry{
-		Sent:      tel.Counter("lake_boundary_sent_total"+ch, "Kernel->user frames accepted into the command channel."),
-		Received:  tel.Counter("lake_boundary_received_total"+ch, "User->kernel frames delivered to the kernel side."),
-		QueueFull: tel.Counter("lake_boundary_queue_full_total"+ch, "Sends rejected by a full channel queue."),
-		RoundTrip: tel.Histogram("lake_boundary_roundtrip_ns"+ch, "Modeled per-command round-trip cost (virtual ns).", telemetry.DefaultLatencyBuckets()),
+		Sent:      tel.Counter(name("lake_boundary_sent_total", ch), "Kernel->user frames accepted into the command channel."),
+		Received:  tel.Counter(name("lake_boundary_received_total", ch), "User->kernel frames delivered to the kernel side."),
+		QueueFull: tel.Counter(name("lake_boundary_queue_full_total", ch), "Sends rejected by a full channel queue."),
+		RoundTrip: tel.Histogram(name("lake_boundary_roundtrip_ns", ch), "Modeled per-command round-trip cost (virtual ns).", telemetry.DefaultLatencyBuckets()),
 	})
 	for i, dev := range r.pool.Devices() {
-		// With one device the metric names stay exactly as they always were;
-		// a real pool labels each device's instrument set by ordinal.
-		lbl := ""
+		// With one device (and no shard label) the metric names stay exactly
+		// as they always were; a real pool labels each device's instrument
+		// set by ordinal, and a fleet shard adds its shard pair on top.
+		dv := ""
 		if r.pool.Size() > 1 {
-			lbl = fmt.Sprintf(`{device="%d"}`, i)
+			dv = fmt.Sprintf(`device="%d"`, i)
 		}
 		dev.SetTelemetry(gpu.Telemetry{
-			Launches:   tel.Counter("lake_gpu_launches_total"+lbl, "Kernels executed on the device model."),
-			ExecTime:   tel.Histogram("lake_gpu_exec_ns"+lbl, "Per-operation modeled execution cost (virtual ns), excluding queueing.", telemetry.DefaultLatencyBuckets()),
-			QueueDelay: tel.Histogram("lake_gpu_queue_delay_ns"+lbl, "Per-operation contention delay (virtual ns) waiting for the device.", telemetry.DefaultLatencyBuckets()),
-			CopyTime:   tel.Histogram("lake_gpu_copy_ns"+lbl, "Host<->device DMA durations (virtual ns) — copy-engine occupancy.", telemetry.DefaultLatencyBuckets()),
-			CopyBytes:  tel.Counter("lake_gpu_copy_bytes_total"+lbl, "Bytes moved across the modeled PCIe link."),
+			Launches:   tel.Counter(name("lake_gpu_launches_total", dv), "Kernels executed on the device model."),
+			ExecTime:   tel.Histogram(name("lake_gpu_exec_ns", dv), "Per-operation modeled execution cost (virtual ns), excluding queueing.", telemetry.DefaultLatencyBuckets()),
+			QueueDelay: tel.Histogram(name("lake_gpu_queue_delay_ns", dv), "Per-operation contention delay (virtual ns) waiting for the device.", telemetry.DefaultLatencyBuckets()),
+			CopyTime:   tel.Histogram(name("lake_gpu_copy_ns", dv), "Host<->device DMA durations (virtual ns) — copy-engine occupancy.", telemetry.DefaultLatencyBuckets()),
+			CopyBytes:  tel.Counter(name("lake_gpu_copy_bytes_total", dv), "Bytes moved across the modeled PCIe link."),
 		})
 	}
 	r.lib.SetTelemetry(remoting.LibTelemetry{
-		Calls:            tel.Counter("lake_lib_calls_total", "Completed remoted invocations."),
-		CallLatency:      tel.Histogram("lake_lib_call_latency_ns", "End-to-end remoted call latency (virtual ns), including backoff.", telemetry.DefaultLatencyBuckets()),
-		Retries:          tel.Counter("lake_lib_retries_total", "Resilient-exchange retry attempts."),
-		CorruptResponses: tel.Counter("lake_lib_corrupt_responses_total", "Responses dropped for CRC/decode failure."),
-		StaleResponses:   tel.Counter("lake_lib_stale_responses_total", "Responses discarded for a stale sequence number."),
-		Recoveries:       tel.Counter("lake_lib_recoveries_total", "Calls that succeeded after at least one retry."),
-		DeadlineExceeded: tel.Counter("lake_lib_deadline_exceeded_total", "Calls abandoned at the retry deadline."),
-		DaemonDead:       tel.Counter("lake_lib_daemon_dead_total", "Calls refused because lakeD was declared dead."),
+		Calls:            tel.Counter(name("lake_lib_calls_total"), "Completed remoted invocations."),
+		CallLatency:      tel.Histogram(name("lake_lib_call_latency_ns"), "End-to-end remoted call latency (virtual ns), including backoff.", telemetry.DefaultLatencyBuckets()),
+		Retries:          tel.Counter(name("lake_lib_retries_total"), "Resilient-exchange retry attempts."),
+		CorruptResponses: tel.Counter(name("lake_lib_corrupt_responses_total"), "Responses dropped for CRC/decode failure."),
+		StaleResponses:   tel.Counter(name("lake_lib_stale_responses_total"), "Responses discarded for a stale sequence number."),
+		Recoveries:       tel.Counter(name("lake_lib_recoveries_total"), "Calls that succeeded after at least one retry."),
+		DeadlineExceeded: tel.Counter(name("lake_lib_deadline_exceeded_total"), "Calls abandoned at the retry deadline."),
+		DaemonDead:       tel.Counter(name("lake_lib_daemon_dead_total"), "Calls refused because lakeD was declared dead."),
 		Tracer:           tel.Tracer(),
 	})
 	r.daemon.SetTelemetry(remoting.DaemonTelemetry{
-		Handled:       tel.Counter("lake_daemon_handled_total", "Responses lakeD put on the channel."),
-		Executed:      tel.Counter("lake_daemon_executed_total", "Commands whose handler actually ran."),
-		Redelivered:   tel.Counter("lake_daemon_redelivered_total", "Commands answered from the exactly-once journal."),
-		CorruptFrames: tel.Counter("lake_daemon_corrupt_frames_total", "Undecodable command frames lakeD dropped."),
-		GPUUtil:       tel.Gauge("lake_nvml_gpu_util", "Last NVML GPU utilization sample served (percent)."),
-		MemUtil:       tel.Gauge("lake_nvml_mem_util", "Last NVML memory utilization sample served (percent)."),
+		Handled:       tel.Counter(name("lake_daemon_handled_total"), "Responses lakeD put on the channel."),
+		Executed:      tel.Counter(name("lake_daemon_executed_total"), "Commands whose handler actually ran."),
+		Redelivered:   tel.Counter(name("lake_daemon_redelivered_total"), "Commands answered from the exactly-once journal."),
+		CorruptFrames: tel.Counter(name("lake_daemon_corrupt_frames_total"), "Undecodable command frames lakeD dropped."),
+		GPUUtil:       tel.Gauge(name("lake_nvml_gpu_util"), "Last NVML GPU utilization sample served (percent)."),
+		MemUtil:       tel.Gauge(name("lake_nvml_mem_util"), "Last NVML memory utilization sample served (percent)."),
 		Tracer:        tel.Tracer(),
 	})
 }
@@ -329,8 +395,8 @@ func (r *Runtime) NewAdaptivePolicy(cfg policy.AdaptiveConfig) *policy.Adaptive 
 		// (and offload runner) populate, closing the Fig 3 loop on
 		// measured signal instead of the static batch threshold.
 		p.SetLatencySources(
-			r.tel.Histogram(telemetry.MetricGPUItemLatency, "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
-			r.tel.Histogram(telemetry.MetricCPUItemLatency, "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			r.tel.Histogram(metricName(r.shardLbl, telemetry.MetricGPUItemLatency), "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			r.tel.Histogram(metricName(r.shardLbl, telemetry.MetricCPUItemLatency), "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
 		)
 	}
 	return p
@@ -345,13 +411,14 @@ func (r *Runtime) NewBatcher(cfg batcher.Config) *batcher.Batcher {
 	b := batcher.New(r, cfg)
 	b.SetFlightRecorder(r.rec)
 	if r.tel != nil {
+		name := func(family string) string { return metricName(r.shardLbl, family) }
 		b.SetTelemetry(batcher.Telemetry{
-			QueueDepth:     r.tel.Gauge("lake_batcher_queue_depth", "Inference items currently queued across all models."),
-			FlushItems:     r.tel.Histogram("lake_batcher_flush_items", "Items per formed batch.", telemetry.CountBuckets()),
-			Rejects:        r.tel.Counter("lake_batcher_rejects_total", "Submissions rejected by backpressure."),
-			QueueDelay:     r.tel.Histogram("lake_batcher_queue_delay_ns", "Per-request enqueue-to-flush wait (virtual ns).", telemetry.DefaultLatencyBuckets()),
-			GPUItemLatency: r.tel.Histogram(telemetry.MetricGPUItemLatency, "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
-			CPUItemLatency: r.tel.Histogram(telemetry.MetricCPUItemLatency, "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			QueueDepth:     r.tel.Gauge(name("lake_batcher_queue_depth"), "Inference items currently queued across all models."),
+			FlushItems:     r.tel.Histogram(name("lake_batcher_flush_items"), "Items per formed batch.", telemetry.CountBuckets()),
+			Rejects:        r.tel.Counter(name("lake_batcher_rejects_total"), "Submissions rejected by backpressure."),
+			QueueDelay:     r.tel.Histogram(name("lake_batcher_queue_delay_ns"), "Per-request enqueue-to-flush wait (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			GPUItemLatency: r.tel.Histogram(metricName(r.shardLbl, telemetry.MetricGPUItemLatency), "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
+			CPUItemLatency: r.tel.Histogram(metricName(r.shardLbl, telemetry.MetricCPUItemLatency), "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets()),
 			Tracer:         r.tel.Tracer(),
 		})
 	}

@@ -230,6 +230,17 @@ func (s *Supervisor) DaemonUnresponsive(api remoting.APIID, seq uint64, err erro
 	return true
 }
 
+// Abandon declares the daemon permanently Dead and exhausts the restart
+// budget. The fleet invokes it after migrating a killed shard's journal and
+// clients away: relaunching the process would resurrect a shard the router
+// no longer routes to, splitting the exactly-once journal in two.
+func (s *Supervisor) Abandon(cause string) {
+	s.mu.Lock()
+	s.restarts = s.cfg.MaxRestarts
+	s.setStateLocked(StateDead, cause)
+	s.mu.Unlock()
+}
+
 // Check runs one heartbeat round and returns the resulting state. While
 // Healthy, checks within HeartbeatInterval of the previous one are no-ops.
 // A successful ping confirms liveness (ReAttached/Suspected -> Healthy); a

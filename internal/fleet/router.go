@@ -1,0 +1,286 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lakego/internal/batcher"
+	"lakego/internal/flightrec"
+	"lakego/internal/gpupool"
+)
+
+// TenantConfig parameterizes one tenant's admission.
+type TenantConfig struct {
+	// Weight is the tenant's fair-share weight (default 1): under the
+	// fleet-wide MaxOutstanding cap each tenant is guaranteed
+	// cap*weight/totalWeight in-flight requests; spare capacity is
+	// work-conserving.
+	Weight int
+	// MaxOutstanding caps this tenant's in-flight requests regardless of
+	// fleet load (0 = no per-tenant cap).
+	MaxOutstanding int
+}
+
+// Tenant is one routed client identity: a sticky shard assignment plus
+// admission state. All fleet Clients for one name share the Tenant.
+type Tenant struct {
+	f    *Fleet
+	name string
+	cfg  TenantConfig
+
+	mu    sync.Mutex
+	shard int // -1 until first placement
+	sc    *batcher.Client
+
+	outstanding atomic.Int64
+}
+
+// Name returns the tenant's identity, the consistent-hash routing key.
+func (t *Tenant) Name() string { return t.name }
+
+// Shard returns the tenant's current shard assignment (-1 before first
+// placement).
+func (t *Tenant) Shard() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.shard
+}
+
+// Outstanding reports the tenant's in-flight requests across the fleet.
+func (t *Tenant) Outstanding() int64 { return t.outstanding.Load() }
+
+// Tenant get-or-creates the named tenant, applying cfg on first creation
+// (a zero cfg means weight 1, no per-tenant cap).
+func (f *Fleet) Tenant(name string, cfg TenantConfig) *Tenant {
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t, ok := f.tenants[name]; ok {
+		return t
+	}
+	t := &Tenant{f: f, name: name, cfg: cfg, shard: -1}
+	f.tenants[name] = t
+	f.totalWeight.Add(int64(cfg.Weight))
+	return t
+}
+
+// Client is a tenant's submission handle, the fleet analogue of
+// batcher.Client: Submit routes to the tenant's shard, Wait collects.
+type Client struct {
+	t *Tenant
+}
+
+// Client returns a handle for the named tenant (default TenantConfig when
+// the tenant is new).
+func (f *Fleet) Client(tenant string) *Client {
+	return &Client{t: f.Tenant(tenant, TenantConfig{})}
+}
+
+// Tenant returns the client's tenant record.
+func (c *Client) Tenant() *Tenant { return c.t }
+
+// Pending is one in-flight fleet request: the shard-level handle plus the
+// routing bookkeeping undone on delivery.
+type Pending struct {
+	p     *batcher.Pending
+	t     *Tenant
+	shard *Shard
+}
+
+// Shard returns the ordinal the request was routed to.
+func (p *Pending) Shard() int { return p.shard.ord }
+
+// TraceID returns the request's flight-recorder trace ID (0 untraced).
+func (p *Pending) TraceID() uint64 { return p.p.TraceID() }
+
+// Wait blocks until the request is delivered, releasing its admission
+// slots. Exactly one goroutine should Wait per Pending.
+func (p *Pending) Wait() ([][]float32, error) {
+	out, err := p.p.Wait()
+	p.shard.outstanding.Add(-1)
+	p.t.outstanding.Add(-1)
+	p.t.f.outstanding.Add(-1)
+	return out, err
+}
+
+// Latency reports enqueue-to-delivery virtual time; valid after Wait.
+func (p *Pending) Latency() time.Duration { return p.p.Latency() }
+
+// admit applies fleet admission on top of the shard batcher's own depth
+// bound. The rule is work-conserving weighted fair share: a tenant below
+// its per-tenant cap is admitted while it is under its fleet share OR the
+// fleet has spare capacity; at the fleet cap, only tenants under their
+// share get in, so a chatty tenant drains back to its quota instead of
+// starving the others.
+func (t *Tenant) admit() error {
+	f := t.f
+	o := t.outstanding.Load()
+	if t.cfg.MaxOutstanding > 0 && o >= int64(t.cfg.MaxOutstanding) {
+		f.rtel.rejects.Inc()
+		return batcher.ErrBackpressure
+	}
+	if cap := int64(f.cfg.MaxOutstanding); cap > 0 {
+		if fo := f.outstanding.Load(); fo >= cap {
+			share := cap * int64(t.cfg.Weight) / f.totalWeight.Load()
+			if share < 1 {
+				share = 1
+			}
+			if o >= share {
+				f.rtel.rejects.Inc()
+				return batcher.ErrBackpressure
+			}
+		}
+	}
+	return nil
+}
+
+// Submit routes one request to the tenant's shard and enqueues it there,
+// re-placing the tenant first if its shard stopped accepting traffic. It
+// fails fast with batcher.ErrBackpressure from either admission layer.
+func (c *Client) Submit(model string, items [][]float32) (*Pending, error) {
+	t := c.t
+	f := t.f
+	if err := t.admit(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s, sc, rerouted, err := t.route()
+	if err != nil {
+		return nil, err
+	}
+	decideNs := time.Since(start).Nanoseconds()
+	p, err := sc.Submit(model, items)
+	if err != nil {
+		return nil, err
+	}
+	s.outstanding.Add(1)
+	t.outstanding.Add(1)
+	f.outstanding.Add(1)
+	var reroute uint64
+	if rerouted {
+		reroute = 1
+	}
+	// The route event lands in the router domain through the destination
+	// shard's recorder view, so the stitched per-call timeline shows both
+	// the hop and where it landed.
+	s.rt.FlightRecorder().Emit(flightrec.DomainRouter, flightrec.EvRoute,
+		p.TraceID(), 0, 0, uint64(f.policy), reroute, uint64(decideNs))
+	return &Pending{p: p, t: t, shard: s}, nil
+}
+
+// Infer is Submit followed by Wait.
+func (c *Client) Infer(model string, items [][]float32) ([][]float32, error) {
+	p, err := c.Submit(model, items)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// route returns the tenant's shard and per-shard batcher client, placing
+// (or re-placing, when the sticky shard left Active) under the fleet lock.
+func (t *Tenant) route() (*Shard, *batcher.Client, bool, error) {
+	f := t.f
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.shard >= 0 && f.shards[t.shard].State() == Active {
+		return f.shards[t.shard], t.sc, false, nil
+	}
+	rerouted := t.shard >= 0
+	ord, err := f.place(t.name)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	t.shard = ord
+	t.sc = f.shards[ord].b.Client(t.name)
+	if rerouted {
+		f.rtel.reroutes.Inc()
+	}
+	return f.shards[ord], t.sc, rerouted, nil
+}
+
+// place picks an Active shard for the tenant under the router policy.
+// Placement draws are serialized under the fleet mutex so fixed-seed runs
+// stay reproducible.
+func (f *Fleet) place(tenant string) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ord := -1
+	switch f.policy {
+	case gpupool.ConsistentHash:
+		ord = f.ring.PickHealthy(tenant, func(m int) bool {
+			return f.shards[m].State() == Active
+		})
+	case gpupool.LeastOutstanding:
+		ord = f.leastOutstandingLocked()
+	case gpupool.ContentionAware:
+		ord = f.contentionAwareLocked()
+	default: // RoundRobin
+		for range f.shards {
+			cand := f.cursor % len(f.shards)
+			f.cursor++
+			if f.shards[cand].State() == Active {
+				ord = cand
+				break
+			}
+		}
+	}
+	if ord < 0 {
+		return -1, fmt.Errorf("fleet: no active shard to place tenant %q", tenant)
+	}
+	f.rtel.placements.Inc()
+	return ord, nil
+}
+
+// leastOutstandingLocked returns the Active shard with the fewest in-flight
+// requests, lowest ordinal on ties (deterministic without a draw).
+func (f *Fleet) leastOutstandingLocked() int {
+	best, bestOut := -1, int64(0)
+	for _, s := range f.shards {
+		if s.State() != Active {
+			continue
+		}
+		out := s.outstanding.Load()
+		if best < 0 || out < bestOut {
+			best, bestOut = s.ord, out
+		}
+	}
+	return best
+}
+
+// contentionAwareLocked prefers Active shards whose pool-wide utilization
+// is below the threshold, then minimizes utilization; ties fall to fewer
+// outstanding requests, then to a seeded PRNG draw.
+func (f *Fleet) contentionAwareLocked() int {
+	type cand struct {
+		ord  int
+		util int
+		out  int64
+	}
+	var best []cand
+	for _, s := range f.shards {
+		if s.State() != Active {
+			continue
+		}
+		c := cand{ord: s.ord, util: s.rt.Pool().AggregateRates().GPU, out: s.outstanding.Load()}
+		switch {
+		case len(best) == 0:
+			best = append(best, c)
+		case c.util < best[0].util || (c.util == best[0].util && c.out < best[0].out):
+			best = append(best[:0], c)
+		case c.util == best[0].util && c.out == best[0].out:
+			best = append(best, c)
+		}
+	}
+	switch len(best) {
+	case 0:
+		return -1
+	case 1:
+		return best[0].ord
+	}
+	return best[f.rng.Intn(len(best))].ord
+}

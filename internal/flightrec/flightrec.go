@@ -37,11 +37,12 @@ const (
 	DomainBatcher                  // cross-client batching
 	DomainGPU                      // device model, CUDA API, device pool
 	DomainSupervisor               // daemon health state machine
+	DomainRouter                   // fleet client-side routing and migration
 	numDomains
 )
 
 var domainNames = [numDomains]string{
-	"kernel", "boundary", "daemon", "batcher", "gpu", "supervisor",
+	"kernel", "boundary", "daemon", "batcher", "gpu", "supervisor", "router",
 }
 
 func (d Domain) String() string {
@@ -56,32 +57,35 @@ func (d Domain) String() string {
 type Kind uint16
 
 const (
-	EvNone        Kind = iota
-	EvCallStart        // kernel: remoted call begins; a0=API id
-	EvMarshal          // kernel: command marshaled; a0=wall ns spent
-	EvRetry            // kernel: retransmission; a0=attempt number
-	EvChannel          // kernel: boundary round trip charged; a0=virtual ns, a1=bytes
-	EvDemux            // kernel: response matched to call; a0=wall ns spent
-	EvCallEnd          // kernel: remoted call done; a0=API id, a1=Result code
-	EvFrameSend        // boundary: frame enqueued; a0=bytes, a1=direction (0 to user, 1 to kernel)
-	EvFrameRecv        // boundary: frame dequeued; a0=bytes, a1=direction
-	EvQueueFull        // boundary: frame lost to a full channel queue; a1=direction
-	EvDispatch         // daemon: command decoded; a0=API id
-	EvJournalHit       // daemon: redelivered command answered from the journal
-	EvExecStart        // daemon: command execution begins; a0=API id
-	EvExecEnd          // daemon: command execution done; a0=API id, a1=Result code
-	EvRespond          // daemon: response frame sent; a0=API id
-	EvCrash            // daemon: armed crash fired; a0=crash point
-	EvRestart          // daemon: daemon restarted; a0=new generation
-	EvEnqueue          // batcher: request queued; a0=item count
-	EvFlushStart       // batcher: flush begins; a0=batched requests, a1=reason (0 full, 1 deadline, 2 linger)
-	EvFlushMember      // batcher/daemon: member request rode a flush; a0=flush trace ID
-	EvFlushEnd         // batcher: flush done; a0=batched requests, a1=1 if GPU path, 0 if CPU fallback
-	EvPlace            // gpu: pool placement decision; a0=policy, a1=1 for a flush placement
-	EvLaunch           // gpu: kernel launch requested; a0=function handle, a1=arg count
-	EvExec             // gpu: device executed work; a0=virtual ns of work, a1=virtual ns queued behind the device
-	EvCopy             // gpu: transfer charged; a0=bytes, a1=virtual ns
-	EvTransition       // supervisor: state change; a0=from, a1=to
+	EvNone         Kind = iota
+	EvCallStart         // kernel: remoted call begins; a0=API id
+	EvMarshal           // kernel: command marshaled; a0=wall ns spent
+	EvRetry             // kernel: retransmission; a0=attempt number
+	EvChannel           // kernel: boundary round trip charged; a0=virtual ns, a1=bytes
+	EvDemux             // kernel: response matched to call; a0=wall ns spent
+	EvCallEnd           // kernel: remoted call done; a0=API id, a1=Result code
+	EvFrameSend         // boundary: frame enqueued; a0=bytes, a1=direction (0 to user, 1 to kernel)
+	EvFrameRecv         // boundary: frame dequeued; a0=bytes, a1=direction
+	EvQueueFull         // boundary: frame lost to a full channel queue; a1=direction
+	EvDispatch          // daemon: command decoded; a0=API id
+	EvJournalHit        // daemon: redelivered command answered from the journal
+	EvExecStart         // daemon: command execution begins; a0=API id
+	EvExecEnd           // daemon: command execution done; a0=API id, a1=Result code
+	EvRespond           // daemon: response frame sent; a0=API id
+	EvCrash             // daemon: armed crash fired; a0=crash point
+	EvRestart           // daemon: daemon restarted; a0=new generation
+	EvEnqueue           // batcher: request queued; a0=item count
+	EvFlushStart        // batcher: flush begins; a0=batched requests, a1=reason (0 full, 1 deadline, 2 linger)
+	EvFlushMember       // batcher/daemon: member request rode a flush; a0=flush trace ID
+	EvFlushEnd          // batcher: flush done; a0=batched requests, a1=1 if GPU path, 0 if CPU fallback
+	EvPlace             // gpu: pool placement decision; a0=policy, a1=1 for a flush placement
+	EvLaunch            // gpu: kernel launch requested; a0=function handle, a1=arg count
+	EvExec              // gpu: device executed work; a0=virtual ns of work, a1=virtual ns queued behind the device
+	EvCopy              // gpu: transfer charged; a0=bytes, a1=virtual ns
+	EvTransition        // supervisor: state change; a0=from, a1=to
+	EvRoute             // router: call placed on a shard; a0=policy, a1=1 for a migration re-route, a2=wall ns spent deciding
+	EvMigrateStart      // router: shard migration begins; a0=source shard, a1=destination shard
+	EvMigrateEnd        // router: shard migration done; a0=source shard, a1=destination shard, a2=journal entries moved
 	numKinds
 )
 
@@ -92,6 +96,7 @@ var kindNames = [numKinds]string{
 	"enqueue", "flush_start", "flush_member", "flush_end",
 	"place", "launch", "exec", "copy",
 	"transition",
+	"route", "migrate_start", "migrate_end",
 }
 
 func (k Kind) String() string {
@@ -110,19 +115,24 @@ type Event struct {
 	Seq     uint64
 	Domain  Domain
 	Kind    Kind
+	Shard   uint16 // fleet shard ordinal (0 outside a fleet)
 	Device  uint16 // device ordinal for GPU-domain events
 	Arg0    uint64
 	Arg1    uint64
 	Arg2    uint64
 }
 
+// pack squeezes kind/shard/domain/device into one word: kind in bits 32-47,
+// shard in the previously unused bits 48-63, domain in 16-23, device in
+// 0-15. Pre-fleet dumps decode with Shard 0, so the binary format needs no
+// version bump.
 func (e Event) pack() [eventWords]uint64 {
 	return [eventWords]uint64{
 		uint64(e.VTime),
 		uint64(e.Wall),
 		e.TraceID,
 		e.Seq,
-		uint64(e.Kind)<<32 | uint64(e.Domain)<<16 | uint64(e.Device),
+		uint64(e.Kind)<<32 | uint64(e.Shard)<<48 | uint64(e.Domain)<<16 | uint64(e.Device),
 		e.Arg0,
 		e.Arg1,
 		e.Arg2,
@@ -136,6 +146,7 @@ func unpackEvent(w [eventWords]uint64) Event {
 		TraceID: w[2],
 		Seq:     w[3],
 		Kind:    Kind(w[4] >> 32),
+		Shard:   uint16(w[4] >> 48),
 		Domain:  Domain(w[4] >> 16),
 		Device:  uint16(w[4]),
 		Arg0:    w[5],
@@ -160,24 +171,68 @@ type FrameInfo struct {
 type FramePeeker func(frame []byte) (FrameInfo, bool)
 
 // DefaultRingSize is the per-domain ring capacity when the config does not
-// say otherwise: 4096 events × 64 bytes × 6 domains = 1.5 MiB resident.
+// say otherwise: 4096 events × 64 bytes × 7 domains = 1.75 MiB resident.
 const DefaultRingSize = 4096
 
 // Recorder owns one ring per domain plus the trace-ID allocator. All
 // methods are safe on a nil *Recorder and safe for concurrent use; Emit on
 // a disabled recorder costs one atomic load.
+//
+// A fleet shares one recorder across shards through WithShard views: each
+// view writes to the root's rings (and draws from the root's trace-ID
+// allocator, so IDs stay fleet-unique) but stamps its shard ordinal on
+// every event and keeps its own in-flight execution word — each shard's
+// lakeD executes commands independently, so one shared execTID would
+// cross-tag concurrent executions.
 type Recorder struct {
 	enabled atomic.Bool
 	clock   *vtime.Clock
 	traceID atomic.Uint64
-	execTID atomic.Uint64 // trace ID of the command lakeD is executing now
+	execTID atomic.Uint64 // trace ID of the command this shard's lakeD is executing now
 	peek    atomic.Value  // FramePeeker
 	rings   [numDomains]*ring
+
+	shard uint16    // ordinal stamped on events emitted through this view
+	root  *Recorder // non-nil on shard views; shared ring/dump/ID state lives there
 
 	dumpMu sync.Mutex
 	last   *Dump
 	sink   func(*Dump)
 	dumps  atomic.Int64
+}
+
+// base resolves to the recorder owning the shared state: the root for a
+// shard view, the receiver otherwise.
+func (r *Recorder) base() *Recorder {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// WithShard derives a view of the recorder for fleet shard ord: events
+// emitted through the view carry Shard=ord and land in the shared rings.
+// The view has an independent BeginExec/EndExec word. clock, when non-nil,
+// stamps the view's events — fleet shards run on independent virtual
+// clocks, so each shard's events must be stamped on its own timeline; nil
+// inherits the root's clock. Nil-safe.
+func (r *Recorder) WithShard(ord int, clock *vtime.Clock) *Recorder {
+	if r == nil {
+		return nil
+	}
+	b := r.base()
+	if clock == nil {
+		clock = b.clock
+	}
+	return &Recorder{clock: clock, shard: uint16(ord), root: b}
+}
+
+// Shard returns the ordinal this view stamps on events (0 for the root).
+func (r *Recorder) Shard() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.shard)
 }
 
 // New builds a recorder on the runtime's virtual clock with ringSize events
@@ -193,27 +248,29 @@ func New(clock *vtime.Clock, ringSize int) *Recorder {
 	return r
 }
 
-// SetEnabled switches recording on or off. No-op on nil.
+// SetEnabled switches recording on or off (fleet-wide on a shard view).
+// No-op on nil.
 func (r *Recorder) SetEnabled(on bool) {
 	if r != nil {
-		r.enabled.Store(on)
+		r.base().enabled.Store(on)
 	}
 }
 
 // Enabled reports whether events are being recorded (false for nil).
 func (r *Recorder) Enabled() bool {
-	return r != nil && r.enabled.Load()
+	return r != nil && r.base().enabled.Load()
 }
 
 // NextTraceID allocates a fresh nonzero trace ID. Valid (and deterministic)
 // even while recording is disabled, so span tracing can key off trace IDs
-// without the recorder. Returns 0 on nil — the "untraced" sentinel that
-// keeps the wire in its old byte-identical shape.
+// without the recorder. Shard views draw from the root's allocator, keeping
+// IDs unique across a fleet. Returns 0 on nil — the "untraced" sentinel
+// that keeps the wire in its old byte-identical shape.
 func (r *Recorder) NextTraceID() uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.traceID.Add(1)
+	return r.base().traceID.Add(1)
 }
 
 // SetFramePeeker installs the frame-header reader the boundary events use.
@@ -221,7 +278,7 @@ func (r *Recorder) NextTraceID() uint64 {
 // boundary) free of a protocol dependency.
 func (r *Recorder) SetFramePeeker(p FramePeeker) {
 	if r != nil && p != nil {
-		r.peek.Store(p)
+		r.base().peek.Store(p)
 	}
 }
 
@@ -237,12 +294,13 @@ func (r *Recorder) Emit(d Domain, k Kind, traceID, seq uint64, device int, a0, a
 		Seq:     seq,
 		Domain:  d,
 		Kind:    k,
+		Shard:   r.shard,
 		Device:  uint16(device),
 		Arg0:    a0,
 		Arg1:    a1,
 		Arg2:    a2,
 	}
-	r.rings[d].put(e.pack())
+	r.base().rings[d].put(e.pack())
 }
 
 // EmitFrame records a boundary-domain event for a wire frame, tagging it
@@ -253,7 +311,7 @@ func (r *Recorder) EmitFrame(k Kind, frame []byte, dir uint64) {
 		return
 	}
 	var tid, seq uint64
-	if p, ok := r.peek.Load().(FramePeeker); ok {
+	if p, ok := r.base().peek.Load().(FramePeeker); ok {
 		if info, ok := p(frame); ok {
 			tid, seq = info.TraceID, info.Seq
 		}
@@ -295,7 +353,7 @@ func (r *Recorder) Dropped() uint64 {
 		return 0
 	}
 	var n uint64
-	for _, rg := range r.rings {
+	for _, rg := range r.base().rings {
 		n += rg.overwritten()
 	}
 	return n
@@ -307,6 +365,7 @@ func (r *Recorder) Snapshot(reason string) *Dump {
 	if r == nil {
 		return nil
 	}
+	r = r.base()
 	d := &Dump{
 		Version: dumpVersion,
 		Reason:  reason,
@@ -332,6 +391,7 @@ func (r *Recorder) SetDumpSink(sink func(*Dump)) {
 	if r == nil {
 		return
 	}
+	r = r.base()
 	r.dumpMu.Lock()
 	r.sink = sink
 	r.dumpMu.Unlock()
@@ -344,6 +404,7 @@ func (r *Recorder) TriggerDump(reason string) *Dump {
 	if !r.Enabled() {
 		return nil
 	}
+	r = r.base()
 	d := r.Snapshot(reason)
 	r.dumpMu.Lock()
 	r.last = d
@@ -361,6 +422,7 @@ func (r *Recorder) LastDump() *Dump {
 	if r == nil {
 		return nil
 	}
+	r = r.base()
 	r.dumpMu.Lock()
 	defer r.dumpMu.Unlock()
 	return r.last
@@ -371,5 +433,5 @@ func (r *Recorder) DumpCount() int64 {
 	if r == nil {
 		return 0
 	}
-	return r.dumps.Load()
+	return r.base().dumps.Load()
 }

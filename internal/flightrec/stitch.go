@@ -17,16 +17,24 @@ type Timeline struct {
 	Seq     uint64
 	API     uint64 // remoting API id from the call events
 	Device  int    // executing device ordinal, -1 if no GPU work
+	Shard   int    // fleet shard that executed the call (0 outside a fleet)
 	Result  uint64 // remoting Result code from EvCallEnd
 	Retries int
+
+	// Router hop (fleet runs only): how many placement decisions routed
+	// this call and whether any was a migration re-route.
+	Routes   int
+	Rerouted bool
 
 	Start, End time.Duration // EvCallStart .. EvCallEnd
 	ExecStartV time.Duration
 	ExecEndV   time.Duration
 
-	// The Fig 5/6 stages. Serialize is wall time (marshal costs no virtual
-	// time); the rest partition the call's virtual duration.
+	// The Fig 5/6 stages. Serialize and Route are wall time (marshal and
+	// placement cost no virtual time); the rest partition the call's
+	// virtual duration.
 	Serialize time.Duration // wall ns spent marshaling
+	Route     time.Duration // wall ns spent on router placement decisions
 	Queue     time.Duration // call start until lakeD decoded it (incl. injected delay)
 	Exec      time.Duration // daemon execution window minus transfer time
 	Copy      time.Duration // transfer time charged inside the execution window
@@ -71,11 +79,31 @@ var chain = []struct {
 // cross-domain timelines.
 func Stitch(d *Dump) *StitchResult {
 	byTID := make(map[uint64][]Event)
+	// Router events ride member-request trace IDs (the fleet routes
+	// requests, the batcher flushes them under a fresh flush ID), so the
+	// flush_member link re-homes each route hop onto the remoted call it
+	// coalesced into — the stitched timeline then shows the hop.
+	flushOf := make(map[uint64]uint64)
+	var routes []Event
 	for _, dd := range d.Domains {
 		for _, e := range dd.Events {
-			if e.TraceID != 0 {
-				byTID[e.TraceID] = append(byTID[e.TraceID], e)
+			if e.TraceID == 0 {
+				continue
 			}
+			byTID[e.TraceID] = append(byTID[e.TraceID], e)
+			switch e.Kind {
+			case EvFlushMember:
+				if e.Arg0 != 0 {
+					flushOf[e.TraceID] = e.Arg0
+				}
+			case EvRoute:
+				routes = append(routes, e)
+			}
+		}
+	}
+	for _, e := range routes {
+		if ftid, ok := flushOf[e.TraceID]; ok && ftid != e.TraceID {
+			byTID[ftid] = append(byTID[ftid], e)
 		}
 	}
 	res := &StitchResult{Dump: d, Dropped: d.TotalDropped()}
@@ -133,6 +161,7 @@ func stitchOne(tid uint64, evs []Event) (Timeline, bool) {
 				dispatchAt = e.VTime
 			}
 		case EvExecStart:
+			tl.Shard = int(e.Shard)
 			if execStartV == unset || e.VTime < execStartV {
 				execStartV = e.VTime
 			}
@@ -144,6 +173,14 @@ func stitchOne(tid uint64, evs []Event) (Timeline, bool) {
 			tl.Copy += time.Duration(e.Arg1)
 		case EvExec, EvLaunch:
 			tl.Device = int(e.Device)
+			tl.Shard = int(e.Shard)
+		case EvRoute:
+			tl.Routes++
+			if e.Arg1 == 1 {
+				tl.Rerouted = true
+			}
+			tl.Route += time.Duration(e.Arg2)
+			tl.Shard = int(e.Shard)
 		}
 	}
 	if !have[EvCallStart] {
@@ -191,12 +228,16 @@ func stitchOne(tid uint64, evs []Event) (Timeline, bool) {
 	return tl, true
 }
 
-// stageNames orders the breakdown columns; serialize is wall time, the rest
-// virtual.
-var stageNames = []string{"serialize(w)", "queue", "exec", "copy", "boundary", "other"}
+// stageNames orders the breakdown columns; the "(w)" stages (router
+// placement, marshal) are wall time, the rest virtual.
+var stageNames = []string{"route(w)", "serialize(w)", "queue", "exec", "copy", "boundary", "other"}
+
+// wallStage reports whether the i'th breakdown column is wall time (and so
+// excluded from virtual-share math).
+func wallStage(i int) bool { return strings.HasSuffix(stageNames[i], "(w)") }
 
 func (t Timeline) stages() []time.Duration {
-	return []time.Duration{t.Serialize, t.Queue, t.Exec, t.Copy, t.Boundary, t.Other}
+	return []time.Duration{t.Route, t.Serialize, t.Queue, t.Exec, t.Copy, t.Boundary, t.Other}
 }
 
 // BreakdownTable renders the paper-Fig-5/6-shaped per-stage latency table:
@@ -246,7 +287,7 @@ func BreakdownTable(ts []Timeline, apiName func(uint64) string) string {
 		fmt.Fprintf(&b, "%-24s %7d %10.2f", apiName(a.api), a.n, us(a.total, a.n))
 		for i, d := range a.stages {
 			cell := fmt.Sprintf("%.2f", us(d, a.n))
-			if i > 0 && a.total > 0 { // virtual stages get a share column
+			if !wallStage(i) && a.total > 0 { // virtual stages get a share column
 				cell += fmt.Sprintf("/%2.0f%%", 100*float64(d)/float64(a.total))
 			}
 			fmt.Fprintf(&b, " %12s", cell)
@@ -316,8 +357,8 @@ func TailAttribution(ts []Timeline, q float64, apiName func(uint64) string) stri
 	fmt.Fprintf(&b, "p%.0f cutoff %.2fus: %d of %d calls\n", q*100, float64(cut)/1e3, tailN, allN)
 	fmt.Fprintf(&b, "%-14s %12s %12s\n", "stage", "tail share", "all share")
 	for i, name := range stageNames {
-		if i == 0 {
-			continue // serialize is wall time; shares are of virtual totals
+		if wallStage(i) {
+			continue // wall-time stages; shares are of virtual totals
 		}
 		ts, as := share(tailStages, tailTotal, i), share(allStages, allTotal, i)
 		fmt.Fprintf(&b, "%-14s %11.1f%% %11.1f%%\n", name, ts, as)
@@ -368,6 +409,10 @@ func ChromeTrace(res *StitchResult, apiName func(uint64) string) ([]byte, error)
 		if t.Device >= 0 {
 			args["device"] = t.Device
 		}
+		if t.Routes > 0 {
+			args["shard"] = t.Shard
+			args["rerouted"] = t.Rerouted
+		}
 		events = append(events, chromeEvent{
 			Name: apiName(t.API), Cat: "call", Ph: "X", Pid: 1, Tid: t.TraceID,
 			Ts: us(t.Start), Dur: us(t.Total()), Args: args,
@@ -394,7 +439,7 @@ func ChromeTrace(res *StitchResult, apiName func(uint64) string) ([]byte, error)
 		for _, dd := range res.Dump.Domains {
 			for _, e := range dd.Events {
 				switch e.Kind {
-				case EvCrash, EvRestart, EvTransition, EvQueueFull:
+				case EvCrash, EvRestart, EvTransition, EvQueueFull, EvMigrateStart, EvMigrateEnd:
 					events = append(events, chromeEvent{
 						Name: e.Kind.String(), Cat: e.Domain.String(), Ph: "i",
 						Pid: 1, Tid: e.TraceID, Ts: us(e.VTime),

@@ -40,6 +40,11 @@ const (
 	// devices below the profitability threshold (Fig 3: contended devices
 	// stop being profitable), breaking ties with the seeded PRNG.
 	ContentionAware
+	// ConsistentHash places each client on the member owning its name on a
+	// seeded hash ring (NewRing), so placement is sticky under membership
+	// change. Used by the fleet router; for per-flush device placement it
+	// degenerates to load-blind and is rarely what a pool wants.
+	ConsistentHash
 )
 
 // String returns the flag-form name of the policy.
@@ -51,6 +56,8 @@ func (p Policy) String() string {
 		return "least-outstanding"
 	case ContentionAware:
 		return "contention-aware"
+	case ConsistentHash:
+		return "consistent-hash"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -65,8 +72,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return LeastOutstanding, nil
 	case "contention-aware", "ca":
 		return ContentionAware, nil
+	case "consistent-hash", "ch":
+		return ConsistentHash, nil
 	default:
-		return 0, fmt.Errorf("gpupool: unknown policy %q (want round-robin, least-outstanding or contention-aware)", s)
+		return 0, fmt.Errorf("gpupool: unknown policy %q (want round-robin, least-outstanding, contention-aware or consistent-hash)", s)
 	}
 }
 
@@ -110,6 +119,7 @@ type Pool struct {
 	mu     sync.Mutex
 	rng    *rand.Rand
 	cursor int
+	ring   *Ring // non-nil iff policy is ConsistentHash
 
 	// rec receives gpu-domain placement events; nil-safe.
 	rec *flightrec.Recorder
@@ -151,6 +161,9 @@ func New(cfg Config, clock *vtime.Clock) (*Pool, error) {
 	for i, spec := range cfg.Specs {
 		p.devs = append(p.devs, gpu.NewIndexed(spec, clock, i))
 	}
+	if cfg.Policy == ConsistentHash {
+		p.ring = NewRing(len(cfg.Specs), 0, cfg.Seed)
+	}
 	return p, nil
 }
 
@@ -178,6 +191,8 @@ func (p *Pool) Place(client string) int {
 		ord = p.leastOutstandingLocked(nil)
 	case ContentionAware:
 		ord = p.contentionAwareLocked(nil)
+	case ConsistentHash:
+		ord = p.ring.Pick(client)
 	default:
 		ord = p.cursor % len(p.devs)
 		p.cursor++

@@ -34,6 +34,11 @@ type Lib struct {
 	region *shm.Region
 
 	seq atomic.Uint64
+	// shardTag is OR'd into the high bits of every issued sequence number
+	// (SetShardTag). In a fleet each shard's lib gets a distinct tag, so
+	// sequence spaces — and therefore journal keyspaces — stay disjoint
+	// when one shard's journal is migrated into another's daemon.
+	shardTag uint64
 
 	// callMu serializes the send/serve/receive exchange so concurrent
 	// kernel threads cannot interleave on the command socket and steal
@@ -106,6 +111,14 @@ func NewLib(tr *boundary.Transport, daemon *Daemon, region *shm.Region) *Lib {
 // Region returns the kernel-side view of the lakeShm mapping.
 func (l *Lib) Region() *shm.Region { return l.region }
 
+// SetShardTag namespaces this lib's sequence numbers under a fleet shard
+// ordinal: bits 48+ carry ord, the low 48 bits count calls. Must be called
+// during construction, before any traffic. Ordinal 0 (and a never-tagged
+// lib) keeps the original sequence space byte-for-byte.
+func (l *Lib) SetShardTag(ord int) {
+	l.shardTag = uint64(ord) << 48
+}
+
 // Stats reports remoted call count and cumulative modeled channel time.
 func (l *Lib) Stats() (calls int64, channelTime time.Duration) {
 	l.mu.Lock()
@@ -172,7 +185,7 @@ func (l *Lib) resilience() *Resilience {
 
 // call performs one remoted invocation end to end.
 func (l *Lib) call(cmd *Command) (*Response, error) {
-	cmd.Seq = l.seq.Add(1)
+	cmd.Seq = l.shardTag | l.seq.Add(1)
 	// A trace ID is assigned only when something will consume it (recorder
 	// or tracer enabled); otherwise the command keeps TraceID 0 and the wire
 	// frame is byte-identical to the untraced protocol. Batcher flushes

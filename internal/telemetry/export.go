@@ -91,7 +91,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	names, metrics, help := r.snapshotLocked()
 	r.mu.Unlock()
+	return writePrometheus(w, names, metrics, help)
+}
 
+func writePrometheus(w io.Writer, names []string, metrics map[string]interface{}, help map[string]string) error {
 	var b strings.Builder
 	lastFamily := ""
 	for _, name := range sortedByFamily(names) {
@@ -121,6 +124,71 @@ func (r *Registry) PrometheusText() string {
 	var b strings.Builder
 	r.WritePrometheus(&b) //nolint:errcheck // strings.Builder cannot fail
 	return b.String()
+}
+
+// WriteMergedPrometheus renders several registries as one exposition, the
+// fleet case: each shard runtime owns a private registry whose series carry
+// a shard label, and the fleet endpoint serves their union. Names must be
+// disjoint across registries (the shard label guarantees it); on a
+// collision the first registration wins, matching get-or-create semantics
+// within one registry. Nil registries are skipped.
+func WriteMergedPrometheus(w io.Writer, regs ...*Registry) error {
+	names, metrics, help := mergeRegistries(regs)
+	return writePrometheus(w, names, metrics, help)
+}
+
+// MergedPrometheusText renders the merged exposition as a string.
+func MergedPrometheusText(regs ...*Registry) string {
+	var b strings.Builder
+	WriteMergedPrometheus(&b, regs...) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// MergedSnapshot captures the union of several registries as one Snapshot,
+// with the same first-wins collision rule as WriteMergedPrometheus.
+func MergedSnapshot(regs ...*Registry) Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	names, metrics, _ := mergeRegistries(regs)
+	for _, name := range names {
+		switch m := metrics[name].(type) {
+		case *Counter:
+			snap.Counters[name] = m.Value()
+		case *Gauge:
+			snap.Gauges[name] = m.Value()
+		case *Histogram:
+			snap.Histograms[name] = snapshotHistogram(m)
+		}
+	}
+	return snap
+}
+
+// mergeRegistries snapshots each registry in turn and unions the results,
+// keeping the first registration of a name.
+func mergeRegistries(regs []*Registry) ([]string, map[string]interface{}, map[string]string) {
+	var names []string
+	metrics := map[string]interface{}{}
+	help := map[string]string{}
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		rn, rm, rh := r.snapshotLocked()
+		r.mu.Unlock()
+		for _, name := range rn {
+			if _, ok := metrics[name]; ok {
+				continue
+			}
+			names = append(names, name)
+			metrics[name] = rm[name]
+			help[name] = rh[name]
+		}
+	}
+	return names, metrics, help
 }
 
 func promType(m interface{}) string {

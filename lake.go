@@ -32,6 +32,7 @@ import (
 	"lakego/internal/cuda"
 	"lakego/internal/faults"
 	"lakego/internal/features"
+	"lakego/internal/fleet"
 	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
@@ -141,6 +142,10 @@ const (
 	PoolRoundRobin = gpupool.RoundRobin
 	// PoolLeastOutstanding places on the device with the smallest backlog.
 	PoolLeastOutstanding = gpupool.LeastOutstanding
+	// PoolConsistentHash places each client on the member owning its name
+	// on a seeded hash ring; the fleet router reuses it for tenant->shard
+	// placement.
+	PoolConsistentHash = gpupool.ConsistentHash
 	// PoolContentionAware places on the least NVML-utilized device,
 	// breaking ties by backlog then seeded PRNG (Fig 3 per device).
 	PoolContentionAware = gpupool.ContentionAware
@@ -286,3 +291,49 @@ func Figure3Program(execThreshold, batchThreshold int64) PolicyProgram {
 
 // DefaultAdaptiveConfig returns the evaluation's policy constants.
 func DefaultAdaptiveConfig() AdaptiveConfig { return policy.DefaultAdaptiveConfig() }
+
+// Sharded multi-daemon fleet (internal/fleet): N independent lakeD
+// runtimes behind a client-side router with sticky tenant placement,
+// layered admission, and drain/kill journal migration. Boot one with
+// NewFleet; Config.NumShards, Config.RouterPolicy and Config.RouterSeed
+// parameterize it (New ignores them — a single runtime is one shard).
+type (
+	// Fleet is a booted shard set plus its router.
+	Fleet = fleet.Fleet
+	// FleetConfig parameterizes NewFleet.
+	FleetConfig = fleet.Config
+	// FleetShard is one lakeD runtime under fleet management.
+	FleetShard = fleet.Shard
+	// FleetShardState is the router's view of a shard (Active, Draining,
+	// Dead).
+	FleetShardState = fleet.ShardState
+	// FleetStats aggregates per-shard stats plus router counters.
+	FleetStats = fleet.Stats
+	// FleetMigration reports one completed drain or kill.
+	FleetMigration = fleet.Migration
+	// FleetTenant is one routed client identity.
+	FleetTenant = fleet.Tenant
+	// FleetTenantConfig sets a tenant's fair-share weight and cap.
+	FleetTenantConfig = fleet.TenantConfig
+	// FleetClient submits through the router; the fleet analogue of
+	// BatcherClient.
+	FleetClient = fleet.Client
+	// FleetPending is one in-flight routed request.
+	FleetPending = fleet.Pending
+)
+
+// Fleet shard states.
+const (
+	// ShardActive accepts placements and traffic.
+	ShardActive = fleet.Active
+	// ShardDraining is excluded from placement while in-flight work
+	// quiesces.
+	ShardDraining = fleet.Draining
+	// ShardDead is migrated away and gone.
+	ShardDead = fleet.Dead
+)
+
+// NewFleet boots cfg.Runtime.NumShards independent lakeD runtimes — one
+// virtual clock each, shards model independent processes — behind the
+// client-side router.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }

@@ -140,11 +140,14 @@ func medians(samples map[string]map[string][]float64) map[string]map[string]floa
 }
 
 // higherIsBetter classifies a metric unit's direction. Throughput-style
-// units count up; times and latencies count down.
+// units count up, as do the lakeload SLO metrics (attainment percentages
+// and knee multipliers — an attainment drop is a regression, not a
+// speedup); times and latencies count down.
 func higherIsBetter(unit string) bool {
 	switch {
 	case strings.Contains(unit, "req_per"), strings.HasSuffix(unit, "_per_s"),
-		unit == "speedup", strings.Contains(unit, "/s"):
+		unit == "speedup", strings.Contains(unit, "/s"),
+		strings.Contains(unit, "attainment"), strings.HasSuffix(unit, "multiplier"):
 		return true
 	default:
 		// ns/op, B/op, allocs/op, *_us, *_ns, ...
@@ -205,6 +208,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	updatePath := fs.String("update", "", "write medians from the bench output to this baseline JSON and exit")
 	threshold := fs.Float64("threshold", 0.15, "maximum tolerated geomean throughput regression (0.15 = 15%)")
 	note := fs.String("note", "", "provenance note stored with -update")
+	require := fs.String("require", "", "comma-separated benchmark-name prefixes that must be present: every baseline benchmark with such a prefix must also appear in the current input")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -256,6 +260,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := json.Unmarshal(data, &base); err != nil {
 		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", *baselinePath, err)
 		return 2
+	}
+	// -require closes the silent-skip hazard for gated suites: compare
+	// drops benchmarks present on only one side, so a renamed or
+	// no-longer-emitted group would otherwise pass the gate by vanishing.
+	for _, prefix := range strings.Split(*require, ",") {
+		prefix = strings.TrimSpace(prefix)
+		if prefix == "" {
+			continue
+		}
+		matched := 0
+		var missing []string
+		for name := range base.Benchmarks {
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			matched++
+			if _, ok := cur[name]; !ok {
+				missing = append(missing, name)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(stderr, "benchdiff: -require %s: baseline %s has no benchmarks with that prefix\n", prefix, *baselinePath)
+			return 2
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			fmt.Fprintf(stderr, "benchdiff: FAIL: required benchmarks missing from current run: %s\n", strings.Join(missing, ", "))
+			return 1
+		}
 	}
 	deltas, geomean := compare(base.Benchmarks, cur)
 	if len(deltas) == 0 {

@@ -192,3 +192,92 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Fatalf("both modes: exit %d, want 2", code)
 	}
 }
+
+// TestAttainmentDirection pins the SLO metric directions: an attainment
+// drop or a knee shifting to a lower multiplier is a regression (speed
+// < 1), never an improvement — the direction hazard that would let an SLO
+// collapse pass the gate as an apparent speedup.
+func TestAttainmentDirection(t *testing.T) {
+	base := map[string]map[string]float64{
+		"Lakeload/smoke":      {"slo_attainment_pct": 99.9},
+		"Lakeload/smoke/knee": {"knee_multiplier": 2},
+		"Lakeload/smoke/t":    {"p99_attainment_pct": 99.5, "p99_us": 2000},
+	}
+	cur := map[string]map[string]float64{
+		"Lakeload/smoke":      {"slo_attainment_pct": 49.95}, // halved: 0.5x
+		"Lakeload/smoke/knee": {"knee_multiplier": 1},        // knee earlier: 0.5x
+		"Lakeload/smoke/t":    {"p99_attainment_pct": 99.5, "p99_us": 4000},
+	}
+	deltas, _ := compare(base, cur)
+	want := map[string]float64{
+		"slo_attainment_pct": 0.5,
+		"knee_multiplier":    0.5,
+		"p99_attainment_pct": 1,
+		"p99_us":             0.5, // latency doubled: also a 0.5x slowdown
+	}
+	for _, d := range deltas {
+		if w, ok := want[d.unit]; !ok || d.speed != w {
+			t.Fatalf("%s %s speed %v, want %v", d.bench, d.unit, d.speed, want[d.unit])
+		}
+		delete(want, d.unit)
+	}
+	if len(want) != 0 {
+		t.Fatalf("metrics not compared: %v", want)
+	}
+}
+
+// TestRequireGate covers -require: a baseline group under a required
+// prefix that vanishes from the current input must fail the gate even
+// though compare would silently skip it.
+func TestRequireGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, benchmarks map[string]map[string]float64) string {
+		data, err := json.MarshalIndent(Baseline{Benchmarks: benchmarks}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	full := map[string]map[string]float64{
+		"Lakeload/smoke":      {"slo_attainment_pct": 99.9},
+		"Lakeload/smoke/knee": {"knee_multiplier": 1},
+		"Lakebench/run":       {"virtual_req_per_s": 40000},
+	}
+	baseline := write("base.json", full)
+	var out, errb bytes.Buffer
+
+	// All required groups present: passes.
+	if code := run([]string{"-baseline", baseline, "-require", "Lakeload/", write("same.json", full)}, &out, &errb); code != 0 {
+		t.Fatalf("complete run failed -require (exit %d): %s%s", code, out.String(), errb.String())
+	}
+
+	// The knee group vanished (say the sweep stopped running in CI): the
+	// same input passes without -require and must fail with it.
+	partial := map[string]map[string]float64{
+		"Lakeload/smoke": {"slo_attainment_pct": 99.9},
+		"Lakebench/run":  {"virtual_req_per_s": 40000},
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, write("partial.json", partial)}, &out, &errb); code != 0 {
+		t.Fatalf("sanity: partial run without -require exit %d, want 0: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, "-require", "Lakeload/", write("partial2.json", partial)}, &out, &errb); code != 1 {
+		t.Fatalf("missing required group: exit %d, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "Lakeload/smoke/knee") {
+		t.Fatalf("missing group not named: %s", errb.String())
+	}
+
+	// A prefix the baseline has never seen is a misconfiguration, not a pass.
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, "-require", "Nope/", write("same2.json", full)}, &out, &errb); code != 2 {
+		t.Fatalf("unmatched -require prefix: exit %d, want 2: %s", code, errb.String())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	lake "lakego"
 	"lakego/internal/cuda"
 	"lakego/internal/experiments"
+	"lakego/internal/flightrec"
 	"lakego/internal/linnos"
 	"lakego/internal/nn"
 )
@@ -215,27 +216,14 @@ func writeResults(path string, devices int, poolPolicy lake.PoolPolicy, shards i
 	res.Benchmarks["Lakebench/run"] = run
 
 	stitch := lake.StitchFlightDump(rt.FlightRecorder().Snapshot("lakebench-results"))
-	var total, queue, exec, cp, boundary float64
-	n := 0
-	for _, t := range stitch.Timelines {
-		if !t.Completed {
-			continue
-		}
-		n++
-		total += float64(t.Total())
-		queue += float64(t.Queue)
-		exec += float64(t.Exec)
-		cp += float64(t.Copy)
-		boundary += float64(t.Boundary)
-	}
-	if n > 0 {
+	if m := flightrec.MeasureStages(stitch.Timelines); m.Calls > 0 {
 		res.Benchmarks["Lakebench/stages"] = map[string]float64{
-			"calls":            float64(n),
-			"per_call_ns":      total / float64(n),
-			"queue_ns_mean":    queue / float64(n),
-			"exec_ns_mean":     exec / float64(n),
-			"copy_ns_mean":     cp / float64(n),
-			"boundary_ns_mean": boundary / float64(n),
+			"calls":            float64(m.Calls),
+			"per_call_ns":      m.PerCallNS,
+			"queue_ns_mean":    m.QueueNS,
+			"exec_ns_mean":     m.ExecNS,
+			"copy_ns_mean":     m.CopyNS,
+			"boundary_ns_mean": m.BoundaryNS,
 		}
 	}
 

@@ -3,13 +3,18 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	lake "lakego"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // TestWriteResultsDeterministic pins the -results contract: the file is in
 // the BENCH_BASELINE.json schema, carries the run and per-stage metric
@@ -102,5 +107,64 @@ func TestWriteFleetResultsDeterministic(t *testing.T) {
 	}
 	if requests != fleet["requests"] {
 		t.Fatalf("per-shard requests sum %v != fleet total %v", requests, fleet["requests"])
+	}
+}
+
+// TestResultsSchemaGolden pins the -results JSON schema — every group
+// name and metric key — against a golden file, so a rename or removal
+// that would silently orphan BENCH_BASELINE.json entries (benchdiff
+// skips groups missing from either side) fails loudly here first.
+// Regenerate with `go test ./cmd/lakebench -run Golden -update` after an
+// intentional schema change, and update BENCH_BASELINE.json to match.
+func TestResultsSchemaGolden(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.json")
+	sharded := filepath.Join(dir, "sharded.json")
+	if err := writeResults(single, 1, lake.PoolContentionAware, 1, lake.PoolConsistentHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeResults(sharded, 1, lake.PoolContentionAware, 2, lake.PoolRoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, path := range []string{single, sharded} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res benchResults
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatal(err)
+		}
+		groups := make([]string, 0, len(res.Benchmarks))
+		for g := range res.Benchmarks {
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		for _, g := range groups {
+			keys := make([]string, 0, len(res.Benchmarks[g]))
+			for k := range res.Benchmarks[g] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(&b, "%s: %s\n", g, strings.Join(keys, " "))
+		}
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "results_schema.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("results schema drifted from %s — update BENCH_BASELINE.json and regenerate with -update.\n--- got ---\n%s--- want ---\n%s", golden, got, want)
 	}
 }

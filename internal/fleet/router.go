@@ -35,6 +35,7 @@ type Tenant struct {
 	sc    *batcher.Client
 
 	outstanding atomic.Int64
+	peak        atomic.Int64
 }
 
 // Name returns the tenant's identity, the consistent-hash routing key.
@@ -50,6 +51,15 @@ func (t *Tenant) Shard() int {
 
 // Outstanding reports the tenant's in-flight requests across the fleet.
 func (t *Tenant) Outstanding() int64 { return t.outstanding.Load() }
+
+// PeakOutstanding reports the high-water mark of the tenant's in-flight
+// requests, the witness for admission-invariant tests: it can never
+// exceed the tenant's MaxOutstanding cap.
+func (t *Tenant) PeakOutstanding() int64 { return t.peak.Load() }
+
+// Config returns the tenant's admission parameters as applied (weight
+// defaulted to 1).
+func (t *Tenant) Config() TenantConfig { return t.cfg }
 
 // Tenant get-or-creates the named tenant, applying cfg on first creation
 // (a zero cfg means weight 1, no per-tenant cap).
@@ -158,7 +168,13 @@ func (c *Client) Submit(model string, items [][]float32) (*Pending, error) {
 		return nil, err
 	}
 	s.outstanding.Add(1)
-	t.outstanding.Add(1)
+	now := t.outstanding.Add(1)
+	for {
+		peak := t.peak.Load()
+		if now <= peak || t.peak.CompareAndSwap(peak, now) {
+			break
+		}
+	}
 	f.outstanding.Add(1)
 	var reroute uint64
 	if rerouted {
@@ -170,6 +186,16 @@ func (c *Client) Submit(model string, items [][]float32) (*Pending, error) {
 	s.rt.FlightRecorder().Emit(flightrec.DomainRouter, flightrec.EvRoute,
 		p.TraceID(), 0, 0, uint64(f.policy), reroute, uint64(decideNs))
 	return &Pending{p: p, t: t, shard: s}, nil
+}
+
+// Route resolves (placing if necessary) the tenant's shard without
+// submitting anything. Open-loop drivers use it to advance the target
+// shard's clock to a scheduled arrival instant before Submit, so queueing
+// delay is charged from the arrival, not from whenever the driver got
+// around to it.
+func (c *Client) Route() (*Shard, error) {
+	s, _, _, err := c.t.route()
+	return s, err
 }
 
 // Infer is Submit followed by Wait.

@@ -228,6 +228,48 @@ func stitchOne(tid uint64, evs []Event) (Timeline, bool) {
 	return tl, true
 }
 
+// StageMeans aggregates completed timelines into mean per-call
+// nanoseconds for the virtual Fig 5/6 stages. The wall-time stages
+// (Serialize, Route) are deliberately absent: they measure host
+// scheduling, not modeled time, and would make a fixed-seed results file
+// differ run over run. Consumers that gate on determinism (lakebench
+// -results, lakeload) report exactly these fields.
+type StageMeans struct {
+	Calls      int
+	PerCallNS  float64
+	QueueNS    float64
+	ExecNS     float64
+	CopyNS     float64
+	BoundaryNS float64
+}
+
+// MeasureStages folds the completed timelines of a stitched dump into
+// per-stage means.
+func MeasureStages(ts []Timeline) StageMeans {
+	var m StageMeans
+	var total, queue, exec, cp, boundary time.Duration
+	for _, t := range ts {
+		if !t.Completed {
+			continue
+		}
+		m.Calls++
+		total += t.Total()
+		queue += t.Queue
+		exec += t.Exec
+		cp += t.Copy
+		boundary += t.Boundary
+	}
+	if m.Calls > 0 {
+		n := float64(m.Calls)
+		m.PerCallNS = float64(total) / n
+		m.QueueNS = float64(queue) / n
+		m.ExecNS = float64(exec) / n
+		m.CopyNS = float64(cp) / n
+		m.BoundaryNS = float64(boundary) / n
+	}
+	return m
+}
+
 // stageNames orders the breakdown columns; the "(w)" stages (router
 // placement, marshal) are wall time, the rest virtual.
 var stageNames = []string{"route(w)", "serialize(w)", "queue", "exec", "copy", "boundary", "other"}

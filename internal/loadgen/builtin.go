@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builtin scenarios. Each is a ready-to-run macro workload; Run and
+// cmd/lakeload validate (and so default-normalize) them first. Rerates
+// follow the paper's §7.1 technique — the Table 4 profiles set each
+// class's arrival *shape*, the rerate factor scales it to the offered
+// load the scenario wants.
+
+// Smoke is the CI scenario: 50k clients, a 20ms window, two shards, five
+// tenant classes covering every mix, one mid-window burst. Small enough
+// to replay (and knee-sweep) in seconds, big enough that batching,
+// admission and the router all see real concurrency. Budgets are sized so
+// the base rate passes while the sweep's top rungs shed hard.
+func Smoke() *Scenario {
+	return &Scenario{
+		Name:       "smoke",
+		Seed:       7,
+		DurationMS: 50,
+		Clients:    50_000,
+		Shards:     2,
+		Bursts:     []Burst{{AtMS: 20, DurationMS: 10, Multiplier: 2}},
+		Tenants: []TenantClass{
+			{Name: "linnos", Mix: "linnos", Profile: "azure", Fraction: 0.40, Rerate: 0.5,
+				SLOp99US: 4000, SLOp999US: 10000},
+			{Name: "kml", Mix: "kml", Profile: "bing-i", Fraction: 0.20, Rerate: 1,
+				SLOp99US: 4000, SLOp999US: 10000},
+			{Name: "mllb", Mix: "mllb", Profile: "cosmos", Fraction: 0.15, Rerate: 1.6,
+				SLOp99US: 5000, SLOp999US: 12000},
+			{Name: "malware", Mix: "malware", Profile: "cosmos", Fraction: 0.15, Rerate: 0.8,
+				SLOp99US: 8000},
+			{Name: "ecryptfs", Mix: "ecryptfs", Profile: "bing-i", Fraction: 0.10, Rerate: 0.5,
+				SLOp99US: 8000},
+		},
+	}
+}
+
+// Million is the acceptance scenario: a 1,048,576-client population with
+// connection churn, a diurnal curve and a burst, against four shards. Per
+// client the rate is tiny — exactly the production shape where a huge
+// idle-ish population still offers megascale aggregate load — and the
+// whole thing replays deterministically in seconds because idle clients
+// cost one heap pop each.
+func Million() *Scenario {
+	return &Scenario{
+		Name:       "million",
+		Seed:       42,
+		DurationMS: 25,
+		Clients:    1 << 20,
+		Shards:     4,
+		Churn:      &ChurnKnobs{MeanSessionMS: 10},
+		Diurnal:    &DiurnalKnobs{PeriodMS: 25, Amplitude: 0.5},
+		Bursts:     []Burst{{AtMS: 10, DurationMS: 5, Multiplier: 2}},
+		Tenants: []TenantClass{
+			{Name: "linnos", Mix: "linnos", Profile: "azure", Fraction: 0.45, Rerate: 2, Groups: 8,
+				SLOp99US: 7000, SLOp999US: 14000},
+			{Name: "kml", Mix: "kml", Profile: "bing-i", Fraction: 0.25, Rerate: 5, Groups: 8,
+				SLOp99US: 7000, SLOp999US: 14000},
+			{Name: "mllb", Mix: "mllb", Profile: "cosmos", Fraction: 0.15, Rerate: 6, Groups: 4,
+				SLOp99US: 6000},
+			{Name: "malware", Mix: "malware", Profile: "cosmos", Fraction: 0.10, Rerate: 4, Groups: 4,
+				SLOp99US: 8000},
+			{Name: "ecryptfs", Mix: "ecryptfs", Profile: "bing-i", Fraction: 0.05, Rerate: 3, Groups: 4,
+				SLOp99US: 8000},
+		},
+	}
+}
+
+// Storm is the overload scenario: a deliberately over-committed burst
+// against tight admission caps, for exercising the shed path and the
+// fair-share invariants (no tenant starved, caps never exceeded). A
+// heavyweight class with a big weight competes against two lightweights;
+// the fleet cap forces fair-share decisions for most of the window.
+func Storm() *Scenario {
+	return &Scenario{
+		Name:                "storm",
+		Seed:                1234,
+		DurationMS:          10,
+		Clients:             20_000,
+		Shards:              2,
+		FleetMaxOutstanding: 96,
+		MaxInflight:         512,
+		Bursts:              []Burst{{AtMS: 2, DurationMS: 6, Multiplier: 10}},
+		Tenants: []TenantClass{
+			{Name: "heavy", Mix: "linnos", Profile: "azure", Fraction: 0.60, Rerate: 40,
+				Groups: 2, Weight: 3, MaxOutstanding: 64, QueueBound: 64,
+				SLOp99US: 2000},
+			{Name: "light-a", Mix: "kml", Profile: "bing-i", Fraction: 0.20, Rerate: 40,
+				Groups: 2, Weight: 1, MaxOutstanding: 32, QueueBound: 32,
+				SLOp99US: 2000},
+			{Name: "light-b", Mix: "mllb", Profile: "cosmos", Fraction: 0.20, Rerate: 40,
+				Groups: 2, Weight: 1, MaxOutstanding: 32, QueueBound: 32,
+				SLOp99US: 2000},
+		},
+	}
+}
+
+// Builtins returns the builtin scenarios in presentation order.
+func Builtins() []*Scenario { return []*Scenario{Smoke(), Million(), Storm()} }
+
+// BuiltinByName resolves a builtin scenario (case-insensitive).
+func BuiltinByName(name string) (*Scenario, error) {
+	for _, s := range Builtins() {
+		if strings.EqualFold(s.Name, name) {
+			return s, nil
+		}
+	}
+	var names []string
+	for _, s := range Builtins() {
+		names = append(names, s.Name)
+	}
+	return nil, fmt.Errorf("loadgen: unknown builtin scenario %q (want one of %s)", name, strings.Join(names, ", "))
+}

@@ -1,0 +1,48 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioConfig fuzzes the scenario-file parser. The properties:
+// ParseScenario never panics; any accepted scenario's canonical form
+// re-parses; and canonicalization is a fixed point (parse -> Canon ->
+// parse -> Canon is byte-stable), so a scenario file checked into CI
+// cannot drift meaning through a round-trip.
+func FuzzScenarioConfig(f *testing.F) {
+	for _, s := range Builtins() {
+		seed, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","duration_ms":1,"clients":10,` +
+		`"tenants":[{"name":"a","mix":"linnos","profile":"azure","fraction":1,"slo_p99_us":100}]}`))
+	f.Add([]byte(`{"name":"x","duration_ms":1e99,"clients":-1,"tenants":[]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		c1, err := s.Canon()
+		if err != nil {
+			t.Fatalf("accepted scenario fails to canonicalize: %v", err)
+		}
+		s2, err := ParseScenario(c1)
+		if err != nil {
+			t.Fatalf("canonical form of an accepted scenario re-rejected: %v\n%s", err, c1)
+		}
+		c2, err := s2.Canon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", c1, c2)
+		}
+	})
+}

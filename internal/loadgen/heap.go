@@ -1,0 +1,140 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// The client population is deliberately not goroutines: a simulated client
+// is a fixed-size record in a flat array plus an entry in a binary heap
+// keyed by its next arrival time. Randomness is stateless — every draw is
+// splitmix64 over (scenario seed, client id, generation, draw index) — so
+// a client's schedule is a pure function of the seed, the heap pop order
+// is a pure function of the schedules, and a million-client replay is
+// byte-identical run over run, including under -race (one driver
+// goroutine owns everything).
+
+// client is one population member's mutable state.
+type client struct {
+	// next is the client's next scheduled arrival (virtual ns).
+	next time.Duration
+	// sessionEnd bounds the current connection; an arrival past it churns
+	// the client (only meaningful with Scenario.Churn).
+	sessionEnd time.Duration
+	// gen counts reconnections: bumping it re-keys the client's random
+	// stream and tenant-group assignment, modeling a genuinely new
+	// connection from the same population slot.
+	gen uint32
+	// draws indexes the client's random stream within a generation.
+	draws uint32
+	// class is the index into Scenario.Tenants.
+	class int32
+	// group is the client's tenant group within its class.
+	group int32
+}
+
+// eventHeap is a binary min-heap of client indices ordered by arrival
+// time, ties broken by client index so heap order — and therefore the
+// whole replay — is deterministic.
+type eventHeap struct {
+	clients []client
+	idx     []int32 // heap of client indices
+}
+
+func (h *eventHeap) len() int { return len(h.idx) }
+
+func (h *eventHeap) less(a, b int32) bool {
+	ca, cb := &h.clients[a], &h.clients[b]
+	if ca.next != cb.next {
+		return ca.next < cb.next
+	}
+	return a < b
+}
+
+// init heapifies in O(n), the cheap way to seed a million first arrivals.
+func (h *eventHeap) heapify() {
+	for i := len(h.idx)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.idx)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && h.less(h.idx[r], h.idx[l]) {
+			small = r
+		}
+		if !h.less(h.idx[small], h.idx[i]) {
+			return
+		}
+		h.idx[i], h.idx[small] = h.idx[small], h.idx[i]
+		i = small
+	}
+}
+
+// peek returns the client index with the earliest arrival.
+func (h *eventHeap) peek() int32 { return h.idx[0] }
+
+// pop removes the root client: its window is over.
+func (h *eventHeap) pop() {
+	last := len(h.idx) - 1
+	h.idx[0] = h.idx[last]
+	h.idx = h.idx[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+}
+
+// fix restores heap order after the root client's next arrival moved
+// forward — the only mutation the replay loop performs.
+func (h *eventHeap) fix() { h.siftDown(0) }
+
+// splitmix64 is the stateless PRNG core: one avalanche of a 64-bit key.
+// It is the same finalizer the consistent-hash ring uses; here it turns
+// (seed, client, generation, draw) into an independent uniform stream
+// with no per-client generator state at all.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds the draw coordinates into one splitmix key.
+func mix(seed int64, clientID int32, gen, draw uint32, salt uint64) uint64 {
+	x := uint64(seed) ^ salt
+	x = splitmix64(x ^ uint64(uint32(clientID))<<1)
+	x = splitmix64(x ^ uint64(gen)<<32 ^ uint64(draw))
+	return x
+}
+
+// Draw salts: independent streams per purpose.
+const (
+	saltArrival = 0xA221_57A7_0000_0001
+	saltAccept  = 0xA221_57A7_0000_0002
+	saltSession = 0xA221_57A7_0000_0003
+	saltGroup   = 0xA221_57A7_0000_0004
+	saltFeature = 0xA221_57A7_0000_0005
+)
+
+// uniform maps a hash to (0,1]: never 0, so -log is finite.
+func uniform(h uint64) float64 {
+	return (float64(h>>11) + 1) / (1 << 53)
+}
+
+// expDur draws an exponential duration with the given mean.
+func expDur(h uint64, mean time.Duration) time.Duration {
+	d := -math.Log(uniform(h)) * float64(mean)
+	if d >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return time.Duration(d)
+}
+
+// sinTurns is sin(2*pi*x), the diurnal carrier.
+func sinTurns(x float64) float64 { return math.Sin(2 * math.Pi * x) }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"time"
 )
 
@@ -80,6 +81,17 @@ func Cosmos() Profile {
 // Profiles returns the three Table 4 profiles in row order.
 func Profiles() []Profile { return []Profile{Azure(), BingI(), Cosmos()} }
 
+// ProfileByName resolves a Table 4 profile from its config-file spelling
+// (case-insensitive: "azure", "bing-i", "cosmos").
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown profile %q (want azure, bing-i or cosmos)", name)
+}
+
 // Rerate returns a copy of p with IOPS scaled by factor, the paper's
 // technique for stressing faster devices (the Mixed+ workload rerates all
 // traces to three times their IOPS).
@@ -88,9 +100,12 @@ func (p Profile) Rerate(factor float64) Profile {
 	return p
 }
 
-// Generate synthesizes n requests deterministically from seed.
+// Generate synthesizes n requests deterministically from seed. A profile
+// with no positive rate (AvgIOPS <= 0 or NaN, e.g. after Rerate(0))
+// generates nothing: the exponential mean 1/AvgIOPS would otherwise
+// overflow time.Duration and produce garbage negative arrivals.
 func (p Profile) Generate(seed int64, n int) []Request {
-	if n <= 0 {
+	if n <= 0 || !(p.AvgIOPS > 0) {
 		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -95,9 +96,61 @@ func TestRerateScalesIOPS(t *testing.T) {
 	}
 }
 
-func TestMeasureEmpty(t *testing.T) {
-	if s := Measure(nil); s.Requests != 0 {
-		t.Fatalf("Measure(nil) = %+v", s)
+// TestMeasureEmptyIsZero pins the empty-trace contract the macro layer
+// relies on: Measure of a nil or empty trace is the zero Stats — every
+// field, not just Requests — with no NaN leaking out of the averages.
+func TestMeasureEmptyIsZero(t *testing.T) {
+	for _, reqs := range [][]Request{nil, {}} {
+		s := Measure(reqs)
+		if s != (Stats{}) {
+			t.Fatalf("Measure(%v) = %+v, want zero Stats", reqs, s)
+		}
+		for _, v := range []float64{s.AvgIOPS, s.AvgReadKB, s.AvgWriteKB, s.WritePercent} {
+			if v != v {
+				t.Fatalf("Measure of empty trace produced NaN: %+v", s)
+			}
+		}
+	}
+}
+
+// TestGenerateDegenerateRate is the regression test for the real empty /
+// degenerate-input bug in this package (it fails against the pre-fix
+// Generate): a profile with no positive rate — AvgIOPS 0, negative, or
+// NaN, e.g. after Rerate(0) — used to compute a +Inf exponential mean
+// that overflowed time.Duration and emitted garbage negative,
+// non-monotonic arrivals, which Measure then summarized as plausible-
+// looking nonsense. Such profiles must generate nothing.
+func TestGenerateDegenerateRate(t *testing.T) {
+	nan := math.NaN()
+	for _, p := range []Profile{
+		Azure().Rerate(0),
+		Azure().Rerate(-1),
+		{Name: "zero"},
+		{Name: "nan", AvgIOPS: nan},
+	} {
+		if reqs := p.Generate(1, 100); reqs != nil {
+			t.Fatalf("%s (AvgIOPS=%v): generated %d requests, first arrival %v; want nil",
+				p.Name, p.AvgIOPS, len(reqs), reqs[0].Arrival)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"azure": "Azure", "Azure": "Azure",
+		"bing-i": "Bing-I", "BING-I": "Bing-I",
+		"cosmos": "Cosmos",
+	} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if p.Name != want {
+			t.Fatalf("ProfileByName(%q) = %s, want %s", name, p.Name, want)
+		}
+	}
+	if _, err := ProfileByName("bing"); err == nil {
+		t.Fatal("partial profile name accepted")
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
+	"lakego/internal/loadgen"
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/shm"
@@ -337,3 +338,36 @@ const (
 // virtual clock each, shards model independent processes — behind the
 // client-side router.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// Open-loop macro load generation (internal/loadgen): trace-driven replay
+// of a million-client churning population against a fleet on the virtual
+// clock, with per-tenant SLO attainment and knee-point location. The
+// cmd/lakeload CLI wraps the same entry points.
+type (
+	// LoadScenario declares one macro workload: population, window,
+	// tenant classes, rate shaping and fleet sizing.
+	LoadScenario = loadgen.Scenario
+	// LoadTenantClass is one scenario tenant: a mix, a Table 4 arrival
+	// profile, a population share and SLO budgets.
+	LoadTenantClass = loadgen.TenantClass
+	// LoadResult is one replay's outcome: per-class attainment, stage
+	// means and fleet counters.
+	LoadResult = loadgen.Result
+	// LoadSweepResult is a knee sweep over rate multipliers.
+	LoadSweepResult = loadgen.SweepResult
+)
+
+// LoadScenarios returns the builtin macro scenarios (smoke, million,
+// storm).
+func LoadScenarios() []*LoadScenario { return loadgen.Builtins() }
+
+// RunLoad replays a scenario to completion and reports results; fixed
+// seeds replay byte-identically (see LoadResult.BenchJSON via
+// loadgen.BenchJSON).
+func RunLoad(s *LoadScenario) (*LoadResult, error) { return loadgen.Run(s) }
+
+// RunLoadSweep replays a scenario at each rate multiplier and locates the
+// knee: the highest rung that still meets every SLO budget.
+func RunLoadSweep(s *LoadScenario, multipliers []float64) (*LoadSweepResult, error) {
+	return loadgen.Sweep(s, multipliers)
+}

@@ -1,0 +1,185 @@
+// Allocation gates for the ring transport's steady-state hot paths: the CI
+// allocgate job runs `go test -run 'TestAllocs'` and any regression from 0
+// allocs/op fails the build. The gated paths are the single remoted call
+// (lakeLib stub -> wire marshal -> descriptor ring -> lakeD decode/execute ->
+// completion ring -> response demux) and the batcher's flush wire path
+// (CuBatchedInferInto over a warmed scratch). The legacy channel transport
+// is exempt: its per-message copy + channel handoff is the cost the ring
+// replaces.
+package lake_test
+
+import (
+	"testing"
+
+	"lakego/internal/boundary"
+	"lakego/internal/core"
+	"lakego/internal/cuda"
+	"lakego/internal/gpu"
+	"lakego/internal/remoting"
+)
+
+// ringConfig is the default runtime switched onto the descriptor-ring
+// transport.
+func ringConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Channel = boundary.Ring
+	return cfg
+}
+
+func newRingRuntime(t testing.TB) *core.Runtime {
+	t.Helper()
+	rt, err := core.New(ringConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestAllocsRingRemotedCall gates the headline budget: a steady-state
+// remoted call over the ring transport performs zero heap allocations on
+// either side of the boundary.
+func TestAllocsRingRemotedCall(t *testing.T) {
+	rt := newRingRuntime(t)
+	lib := rt.Lib()
+	if r := lib.CuInit(); r != cuda.Success {
+		t.Fatal(r)
+	}
+	// Warm the pools: callState, frame capacity, daemon scratch — and one
+	// full lap of the 4096-slot journal ring, whose per-slot buffers grow on
+	// first use and are recycled in place ever after.
+	for i := 0; i < 4100; i++ {
+		if _, r := lib.CuDeviceGetCount(); r != cuda.Success {
+			t.Fatal(r)
+		}
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		if _, r := lib.CuDeviceGetCount(); r != cuda.Success {
+			t.Fatal(r)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("ring remoted call allocates %v objects/op, want 0", n)
+	}
+}
+
+// TestAllocsRingCallWithValues gates a stub that returns values and carries
+// args (the memcpy accounting path), not just the arg-less device count.
+func TestAllocsRingCallWithValues(t *testing.T) {
+	rt := newRingRuntime(t)
+	lib := rt.Lib()
+	if r := lib.CuInit(); r != cuda.Success {
+		t.Fatal(r)
+	}
+	ptr, r := lib.CuMemAlloc(256)
+	if r != cuda.Success {
+		t.Fatal(r)
+	}
+	src := make([]byte, 256)
+	for i := 0; i < 4100; i++ { // one full journal lap, see above
+		if r := lib.CuMemcpyHtoD(ptr, src); r != cuda.Success {
+			t.Fatal(r)
+		}
+	}
+	n := testing.AllocsPerRun(1000, func() {
+		if r := lib.CuMemcpyHtoD(ptr, src); r != cuda.Success {
+			t.Fatal(r)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("ring CuMemcpyHtoD allocates %v objects/op, want 0", n)
+	}
+}
+
+// inPlaceKernel is an inference-shaped kernel (args = [in, out, n]) whose
+// body moves bytes without allocating, so the flush gate below measures only
+// the wire path.
+func inPlaceKernel(name string) *cuda.Kernel {
+	return &cuda.Kernel{
+		Name:  name,
+		Flops: func(args []uint64) float64 { return float64(args[2]) },
+		Body: func(dev *gpu.Device, args []uint64) error {
+			inMem, err := dev.Bytes(gpu.DevPtr(args[0]))
+			if err != nil {
+				return err
+			}
+			outMem, err := dev.Bytes(gpu.DevPtr(args[1]))
+			if err != nil {
+				return err
+			}
+			copy(outMem, inMem[:int(args[2])*4])
+			return nil
+		},
+	}
+}
+
+// TestAllocsRingBatchedFlushWire gates the batcher's flush wire path: a
+// warmed CuBatchedInferInto — marshal into scratch, one ring round trip, one
+// gathered launch, per-entry demux into scratch — is allocation-free.
+func TestAllocsRingBatchedFlushWire(t *testing.T) {
+	rt := newRingRuntime(t)
+	lib := rt.Lib()
+	rt.RegisterKernel(inPlaceKernel("identity"))
+	if r := lib.CuInit(); r != cuda.Success {
+		t.Fatal(r)
+	}
+	ctx, r := lib.CuCtxCreate("allocgate")
+	if r != cuda.Success {
+		t.Fatal(r)
+	}
+	mod, r := lib.CuModuleLoad("identity.cubin")
+	if r != cuda.Success {
+		t.Fatal(r)
+	}
+	fn, r := lib.CuModuleGetFunction(mod, "identity")
+	if r != cuda.Success {
+		t.Fatal(r)
+	}
+	const maxItems = 32
+	devIn, r := lib.CuMemAlloc(4 * maxItems)
+	if r != cuda.Success {
+		t.Fatal(r)
+	}
+	devOut, r := lib.CuMemAlloc(4 * maxItems)
+	if r != cuda.Success {
+		t.Fatal(r)
+	}
+	spec := remoting.BatchSpec{Ctx: ctx, Fn: fn, DevIn: devIn, DevOut: devOut, InWidth: 1, OutWidth: 1}
+
+	region := rt.Region()
+	entries := make([]remoting.BatchEntry, 4)
+	for i := range entries {
+		const count = 4
+		in, err := region.Alloc(4 * count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := region.Alloc(4 * count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[i] = remoting.BatchEntry{
+			Seq:   uint64(100 + i),
+			InOff: uint64(in.Offset()), OutOff: uint64(out.Offset()),
+			Count: count,
+		}
+	}
+	var sc remoting.BatchScratch
+	flush := func() {
+		res, r := lib.CuBatchedInferInto("identity", spec, entries, 0, &sc)
+		if r != cuda.Success {
+			t.Fatal(r)
+		}
+		for i, pr := range res {
+			if pr != cuda.Success {
+				t.Fatalf("entry %d: %v", i, pr)
+			}
+		}
+	}
+	for i := 0; i < 4100; i++ { // one full journal lap, see above
+		flush()
+	}
+	if n := testing.AllocsPerRun(1000, flush); n != 0 {
+		t.Fatalf("ring batched flush wire path allocates %v objects/op, want 0", n)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"lakego/internal/batcher"
+	"lakego/internal/boundary"
 	"lakego/internal/core"
 	"lakego/internal/linnos"
 	"lakego/internal/nn"
@@ -203,6 +204,30 @@ func BenchmarkBatchedInference(b *testing.B) {
 			b.ReportMetric(float64(unbatched.p99().Microseconds()), "unbatched_p99_us")
 		})
 	}
+}
+
+// BenchmarkBatchedInferenceRing pits the batched workload on the
+// descriptor-ring transport against the same workload on the legacy channel
+// transport: identical streams, bit-identical predictions, the ring's
+// cheaper boundary crossings raising the throughput ceiling.
+func BenchmarkBatchedInferenceRing(b *testing.B) {
+	const clients = 32
+	ringCfg := benchConfig(false)
+	ringCfg.Channel = boundary.Ring
+	var ring, channel batchBenchRun
+	for i := 0; i < b.N; i++ {
+		channel = runBatchedLinnOSCfg(b, clients, batchBenchPerClient, benchConfig(false))
+		ring = runBatchedLinnOSCfg(b, clients, batchBenchPerClient, ringCfg)
+	}
+	for i := range ring.preds {
+		if ring.preds[i] != channel.preds[i] {
+			b.Fatalf("request %d: ring prediction differs from channel transport", i)
+		}
+	}
+	b.ReportMetric(ring.throughput(), "ring_req_per_s")
+	b.ReportMetric(channel.throughput(), "channel_req_per_s")
+	b.ReportMetric(ring.throughput()/channel.throughput(), "speedup")
+	b.ReportMetric(float64(ring.p99().Microseconds()), "ring_p99_us")
 }
 
 // BenchmarkBatchedInferenceTelemetry pits the same batched workload with

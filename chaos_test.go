@@ -59,9 +59,16 @@ type chaosStack struct {
 }
 
 func newChaosStack(t *testing.T, mix *lake.FaultMix) *chaosStack {
+	return newChaosStackOn(t, mix, lake.Netlink)
+}
+
+// newChaosStackOn boots the chaos stack on an explicit command channel; the
+// ring bit-identity sweep runs the same workloads over both transports.
+func newChaosStackOn(t *testing.T, mix *lake.FaultMix, ch lake.ChannelKind) *chaosStack {
 	t.Helper()
 	cfg := lake.DefaultConfig()
 	cfg.Faults = mix
+	cfg.Channel = ch
 	rt, err := lake.New(cfg)
 	if err != nil {
 		t.Fatal(err)

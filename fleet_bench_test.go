@@ -37,7 +37,12 @@ func fleetLinnOSModel() (lake.BatcherModel, *nn.Network) {
 }
 
 func fleetBenchConfig(shards int) lake.FleetConfig {
+	return fleetBenchConfigOn(shards, lake.Netlink)
+}
+
+func fleetBenchConfigOn(shards int, ch lake.ChannelKind) lake.FleetConfig {
 	rcfg := benchConfig(false)
+	rcfg.Channel = ch
 	rcfg.NumShards = shards
 	rcfg.RouterPolicy = lake.PoolRoundRobin // deterministic balanced storm
 	rcfg.RouterSeed = 42
@@ -61,8 +66,14 @@ const fleetPipeline = 64
 // `shards` shards and reports elapsed critical-path virtual time, per-
 // request latencies, and per-request predictions.
 func runFleetLinnOS(tb testing.TB, shards, clients, perClient int) batchBenchRun {
+	return runFleetLinnOSOn(tb, shards, clients, perClient, lake.Netlink)
+}
+
+// runFleetLinnOSOn is runFleetLinnOS with every shard on an explicit command
+// channel.
+func runFleetLinnOSOn(tb testing.TB, shards, clients, perClient int, ch lake.ChannelKind) batchBenchRun {
 	tb.Helper()
-	f, err := lake.NewFleet(fleetBenchConfig(shards))
+	f, err := lake.NewFleet(fleetBenchConfigOn(shards, ch))
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -163,6 +174,28 @@ func BenchmarkFleetScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetScalingRing is the fleet storm with every shard on the
+// descriptor-ring transport: a 256-client LinnOS storm at 4 shards against
+// its own 1-shard ring baseline. The ring's cheaper per-call boundary
+// crossings raise the absolute throughput ceiling over BenchmarkFleetScaling
+// while preserving bit-identical predictions.
+func BenchmarkFleetScalingRing(b *testing.B) {
+	const clients, perClient, shards = 256, 64, 4
+	var run, base batchBenchRun
+	for i := 0; i < b.N; i++ {
+		base = runFleetLinnOSOn(b, 1, clients, perClient, lake.Ring)
+		run = runFleetLinnOSOn(b, shards, clients, perClient, lake.Ring)
+	}
+	for i := range run.preds {
+		if run.preds[i] != base.preds[i] {
+			b.Fatalf("request %d: prediction differs between 1 and %d ring shards", i, shards)
+		}
+	}
+	b.ReportMetric(run.throughput(), "req_per_s")
+	b.ReportMetric(run.throughput()/base.throughput(), "speedup")
+	b.ReportMetric(float64(run.p99().Nanoseconds()), "p99_vns")
+}
+
 // TestFleetScalingSpeedup gates the headline claim: >= 3x throughput at 4
 // shards over 1 under the 256-client storm (mirrors
 // TestPoolScalingSpeedup).
@@ -192,8 +225,21 @@ func TestFleetScalingSpeedup(t *testing.T) {
 // redelivery, the migrated journal absorbs them), and the flight recorder
 // reconstructs every surviving-shard call end to end.
 func TestChaosFleetShardKill(t *testing.T) {
+	runChaosFleetShardKill(t, lake.Netlink)
+}
+
+// TestChaosFleetShardKillRing is the same kill storm with every shard on the
+// descriptor-ring transport: the victim's in-flight calls sit in ring slots
+// when the kill lands, and the handoff must still seal the journal with zero
+// lost and zero re-executed calls.
+func TestChaosFleetShardKillRing(t *testing.T) {
+	runChaosFleetShardKill(t, lake.Ring)
+}
+
+func runChaosFleetShardKill(t *testing.T, ch lake.ChannelKind) {
 	const clients, perClient, victim = 64, 16, 2
 	cfg := fleetBenchConfig(4)
+	cfg.Runtime.Channel = ch
 	cfg.Runtime.Faults = &lake.FaultMix{Seed: 21} // plane attached; the kill is manual
 	f, err := lake.NewFleet(cfg)
 	if err != nil {

@@ -273,6 +273,11 @@ type model struct {
 	// execMu serializes flush execution: a model has one device staging
 	// area, so concurrent flushes of the same model must not interleave.
 	execMu sync.Mutex
+	// Flush wire scratch, guarded by execMu: the entry slice and the
+	// remoting marshal/demux buffers are recycled across flushes so the
+	// steady-state flush wire path performs no heap allocation.
+	entriesScratch []remoting.BatchEntry
+	wireScratch    remoting.BatchScratch
 }
 
 // RegisterModel installs a model: registers its device kernel, creates the

@@ -161,31 +161,35 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 		dec = b.cfg.Policy(items)
 	}
 	var flushErr error
-	var perRes map[uint64]cuda.Result
+	// perRes is aligned 1:1 with batch when usePer is set (the Into call
+	// verifies every response pair's sequence against its entry).
+	var perRes []cuda.Result
+	usePer := false
 	ranOnGPU := false
 	if dec == policy.UseGPU {
 		b.gpuFlushes.Add(1)
 		ranOnGPU = true
-		entries := make([]remoting.BatchEntry, len(batch))
-		for i, p := range batch {
-			entries[i] = remoting.BatchEntry{
+		entries := m.entriesScratch[:0]
+		for _, p := range batch {
+			entries = append(entries, remoting.BatchEntry{
 				Seq:     p.seq,
 				InOff:   uint64(p.inBuf.Offset()),
 				OutOff:  uint64(p.outBuf.Offset()),
 				Count:   uint32(p.count),
 				TraceID: p.tid,
-			}
+			})
 		}
+		m.entriesScratch = entries
 		// Per-flush placement: on a multi-device pool each launch goes to
 		// the least-utilized eligible device's staging spec.
 		spec := m.specs[0]
 		if b.pool != nil {
 			spec = m.specs[b.pool.PlaceFlush(nil)]
 		}
-		per, r := b.rt.Lib().CuBatchedInferTraced(m.mc.Name, spec, entries, ftid)
+		res, r := b.rt.Lib().CuBatchedInferInto(m.mc.Name, spec, entries, ftid, &m.wireScratch)
 		switch r {
 		case cuda.Success:
-			perRes = per
+			perRes, usePer = res, true
 		case cuda.ErrNotReady:
 			// lakeD is unavailable (declared dead and not recovered): the
 			// kernel must still answer its clients, so the formed batch
@@ -224,13 +228,13 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 		}
 	}
 	region := b.rt.Region()
-	for _, p := range batch {
+	for i, p := range batch {
 		err := flushErr
-		if err == nil && perRes != nil {
-			if r, ok := perRes[p.seq]; !ok {
+		if err == nil && usePer {
+			if i >= len(perRes) {
 				err = cuda.ErrUnknown.Err()
-			} else if r != cuda.Success {
-				err = r.Err()
+			} else if perRes[i] != cuda.Success {
+				err = perRes[i].Err()
 			}
 		}
 		if err == nil {

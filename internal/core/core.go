@@ -137,7 +137,7 @@ type Runtime struct {
 	device    *gpu.Device // pool device 0, the single-device view
 	api       *cuda.API
 	region    *shm.Region
-	transport *boundary.Transport
+	transport boundary.Channel
 	daemon    *remoting.Daemon
 	lib       *remoting.Lib
 	store     *features.Store
@@ -193,7 +193,20 @@ func New(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	tr := boundary.NewTransport(cfg.Channel, clock, cfg.QueueDepth)
+	// Channel selection: boundary.Ring gets the shm-resident lock-free
+	// descriptor-ring transport (payload slots carved from the region the
+	// two domains already share); every Table-2 mechanism keeps the legacy
+	// channel transport, byte-for-byte.
+	var tr boundary.Channel
+	if cfg.Channel == boundary.Ring {
+		ring, err := boundary.NewRingTransport(clock, region, cfg.QueueDepth, boundary.DefaultSlotBytes)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		tr = ring
+	} else {
+		tr = boundary.NewTransport(cfg.Channel, clock, cfg.QueueDepth)
+	}
 	daemon := remoting.NewDaemon(api, region, tr)
 	lib := remoting.NewLib(tr, daemon, region)
 	lib.SetShardTag(cfg.ShardOrdinal)
@@ -364,6 +377,11 @@ func (r *Runtime) Daemon() *remoting.Daemon { return r.daemon }
 
 // Region returns the lakeShm shared region.
 func (r *Runtime) Region() *shm.Region { return r.region }
+
+// Transport returns the boundary channel the runtime was booted on (the
+// legacy *boundary.Transport or a *boundary.RingTransport, per
+// Config.Channel); type-assert for implementation-specific stats.
+func (r *Runtime) Transport() boundary.Channel { return r.transport }
 
 // Features returns the in-kernel feature registry store (§5).
 func (r *Runtime) Features() *features.Store { return r.store }

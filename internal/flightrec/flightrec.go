@@ -86,6 +86,7 @@ const (
 	EvRoute             // router: call placed on a shard; a0=policy, a1=1 for a migration re-route, a2=wall ns spent deciding
 	EvMigrateStart      // router: shard migration begins; a0=source shard, a1=destination shard
 	EvMigrateEnd        // router: shard migration done; a0=source shard, a1=destination shard, a2=journal entries moved
+	EvDoorbell          // boundary: ring-transport doorbell rung on an empty→nonempty transition; a0=bytes, a1=direction
 	numKinds
 )
 
@@ -97,6 +98,7 @@ var kindNames = [numKinds]string{
 	"place", "launch", "exec", "copy",
 	"transition",
 	"route", "migrate_start", "migrate_end",
+	"doorbell",
 }
 
 func (k Kind) String() string {

@@ -2,6 +2,7 @@ package remoting
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"lakego/internal/cuda"
@@ -165,25 +166,77 @@ func (l *Lib) CuBatchedInfer(model string, spec BatchSpec, entries []BatchEntry)
 // its daemon-side events and span stages) correlate with the flush span,
 // while the entries keep their member trace IDs.
 func (l *Lib) CuBatchedInferTraced(model string, spec BatchSpec, entries []BatchEntry, traceID uint64) (map[uint64]cuda.Result, cuda.Result) {
-	blob, err := MarshalBatch(&Batch{Entries: entries})
+	var sc BatchScratch
+	res, r := l.CuBatchedInferInto(model, spec, entries, traceID, &sc)
+	if res == nil {
+		return nil, r
+	}
+	per := make(map[uint64]cuda.Result, len(res))
+	for i := range res {
+		per[entries[i].Seq] = res[i]
+	}
+	return per, r
+}
+
+// BatchScratch holds a flusher's reusable wire and demux buffers for
+// CuBatchedInferInto. One scratch per serialized flusher (the batcher keeps
+// one per model, under its execution lock); the zero value is ready to use.
+type BatchScratch struct {
+	blob    []byte
+	results []cuda.Result
+}
+
+// CuBatchedInferInto is the allocation-free batched-infer path: the batch
+// payload is marshaled into sc's reusable blob and the per-request results
+// are decoded into sc's reusable slice, aligned 1:1 with entries (lakeD
+// answers in entry order; the sequence of every pair is verified). The
+// returned slice aliases sc and is valid until the next call with the same
+// scratch. A nil results slice means the exchange itself failed (or the
+// response was not aligned with the request) — callers treat every entry
+// as failed with the command-level result.
+func (l *Lib) CuBatchedInferInto(model string, spec BatchSpec, entries []BatchEntry, traceID uint64, sc *BatchScratch) ([]cuda.Result, cuda.Result) {
+	bt := Batch{Entries: entries}
+	blob, err := AppendBatch(sc.blob[:0], &bt)
+	sc.blob = blob
 	if err != nil {
 		return nil, cuda.ErrInvalidValue
 	}
-	r, resp := l.callRes(&Command{
-		API:     APIBatchedInfer,
-		TraceID: traceID,
-		Name:    model,
-		Args:    spec.args(),
-		Blob:    blob,
-	})
-	if resp == nil {
-		return nil, r
+	cs := l.newCall(APIBatchedInfer)
+	cs.cmd.TraceID = traceID
+	cs.cmd.Name = model
+	cs.cmd.Args = append(cs.cmd.Args,
+		spec.Ctx, spec.Fn, uint64(spec.DevIn), uint64(spec.DevOut),
+		uint64(spec.InWidth), uint64(spec.OutWidth))
+	cs.cmd.Blob = blob
+	if err := l.call(cs); err != nil {
+		l.done(cs)
+		if errors.Is(err, ErrDaemonDead) || errors.Is(err, ErrDeadlineExceeded) {
+			return nil, cuda.ErrNotReady
+		}
+		return nil, cuda.ErrUnknown
 	}
-	per := make(map[uint64]cuda.Result, len(resp.Vals)/2)
-	for i := 0; i+1 < len(resp.Vals); i += 2 {
-		per[resp.Vals[i]] = cuda.Result(resp.Vals[i+1])
+	r := cuda.Result(cs.resp.Result)
+	vals := cs.resp.Vals
+	results := sc.results[:0]
+	aligned := len(vals) == 2*len(entries)
+	for i := 0; aligned && i < len(entries); i++ {
+		if vals[2*i] != entries[i].Seq {
+			aligned = false
+			break
+		}
+		results = append(results, cuda.Result(vals[2*i+1]))
 	}
-	return per, r
+	sc.results = results
+	l.done(cs)
+	if !aligned {
+		if len(vals) == 0 {
+			// The daemon rejected the command wholesale (e.g. a bad spec):
+			// command-level result, zero per-entry results.
+			return results[:0], r
+		}
+		return nil, cuda.ErrUnknown
+	}
+	return results, r
 }
 
 // batchedInfer is lakeD's side of the batching subsystem: it validates each
@@ -192,17 +245,17 @@ func (l *Lib) CuBatchedInferTraced(model string, spec BatchSpec, entries []Batch
 // scatters per-request output slices back into lakeShm. Data movement is
 // charged as one aggregated DMA per direction — the transfer amortization
 // that makes cross-client batching profitable.
-func (d *Daemon) batchedInfer(cmd *Command) *Response {
-	resp := &Response{Seq: cmd.Seq}
+func (d *Daemon) batchedInfer(cmd *Command, resp *Response) {
+	sc := &d.scratch
 	spec, ok := batchSpecFromArgs(cmd.Args)
 	if !ok || spec.InWidth <= 0 || spec.OutWidth <= 0 {
 		resp.Result = int32(cuda.ErrInvalidValue)
-		return resp
+		return
 	}
-	bt, err := UnmarshalBatch(cmd.Blob)
-	if err != nil {
+	bt := &sc.bt
+	if err := UnmarshalBatchInto(bt, cmd.Blob); err != nil {
 		resp.Result = int32(cuda.ErrInvalidValue)
-		return resp
+		return
 	}
 	// Daemon-side proof that member trace IDs survived the coalesced wire
 	// trip: one flush_member event per traced entry, linking member -> flush.
@@ -219,13 +272,23 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 	outMem, errOut := d.api.Bytes(spec.DevOut)
 	if errIn != nil || errOut != nil {
 		resp.Result = int32(cuda.ErrInvalidValue)
-		return resp
+		return
 	}
 
 	// Validate and admit entries until staging capacity is exhausted;
-	// rejected entries fail individually without sinking the launch.
-	perRes := make([]cuda.Result, len(bt.Entries))
-	admitted := make([]int, 0, len(bt.Entries))
+	// rejected entries fail individually without sinking the launch. The
+	// per-entry result and admission scratch reuse their capacity across
+	// flushes (perRes must be re-zeroed: Success is the zero value).
+	if cap(sc.perRes) < len(bt.Entries) {
+		sc.perRes = make([]cuda.Result, len(bt.Entries))
+	} else {
+		sc.perRes = sc.perRes[:len(bt.Entries)]
+		for i := range sc.perRes {
+			sc.perRes[i] = cuda.Success
+		}
+	}
+	perRes := sc.perRes
+	admitted := sc.admitted[:0]
 	items := 0
 	for i, e := range bt.Entries {
 		inBytes := int64(e.Count) * int64(4*spec.InWidth)
@@ -264,8 +327,8 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 		d.api.ChargeTransferFor(spec.DevIn, int64(cursor))
 
 		lt := d.tel.Tracer.Open(cmd.TraceID).StageTimer("launch", d.tr.Clock().Now())
-		launch := d.api.LaunchKernel(spec.Ctx, spec.Fn,
-			[]uint64{uint64(spec.DevIn), uint64(spec.DevOut), uint64(items)})
+		sc.launchArgs = [3]uint64{uint64(spec.DevIn), uint64(spec.DevOut), uint64(items)}
+		launch := d.api.LaunchKernel(spec.Ctx, spec.Fn, sc.launchArgs[:])
 		lt.End(d.tr.Clock().Now())
 		if launch != cuda.Success {
 			for _, i := range admitted {
@@ -287,10 +350,10 @@ func (d *Daemon) batchedInfer(cmd *Command) *Response {
 		}
 	}
 
+	sc.admitted = admitted
 	resp.Result = int32(cuda.Success)
-	resp.Vals = make([]uint64, 0, 2*len(bt.Entries))
+	resp.Vals = resp.Vals[:0]
 	for i, e := range bt.Entries {
 		resp.Vals = append(resp.Vals, e.Seq, uint64(uint32(perRes[i])))
 	}
-	return resp
 }

@@ -28,8 +28,16 @@ type HighLevelHandler func(api *cuda.API, region *shm.Region, args []uint64, blo
 type Daemon struct {
 	api     *cuda.API
 	region  *shm.Region
-	tr      *boundary.Transport
+	tr      boundary.Channel
 	journal *journal
+
+	// pumpMu serializes PumpOne; scratch is the pump's reusable working
+	// state (decoded command, response under construction, outbound frame
+	// buffer, name intern table, batch demux state). With every buffer
+	// warmed the daemon serves a command without heap allocation — lakeD's
+	// half of the ring transport's 0 allocs/op budget.
+	pumpMu  sync.Mutex
+	scratch pumpScratch
 
 	mu        sync.Mutex
 	highlevel map[string]HighLevelHandler
@@ -84,16 +92,39 @@ func (d *Daemon) SetFlightRecorder(rec *flightrec.Recorder) {
 // maxErrlog bounds the daemon's attribution log.
 const maxErrlog = 64
 
+// pumpScratch is PumpOne's reusable working state, guarded by pumpMu. The
+// decoded command's Blob aliases the received frame (valid until the next
+// receive — the command is fully executed before then); everything else is
+// daemon-owned storage whose capacity survives across pumps.
+type pumpScratch struct {
+	cmd  Command
+	resp Response
+	// out is the outbound response frame buffer.
+	out []byte
+	// names interns command names so steady-state decode never allocates a
+	// string (the wire vocabulary is a small fixed set of model names and
+	// kernel symbols).
+	names map[string]string
+	// Batch demux state for batchedInfer.
+	bt         Batch
+	perRes     []cuda.Result
+	admitted   []int
+	launchArgs [3]uint64
+}
+
 // NewDaemon creates a daemon serving the given CUDA API and shared region
-// over the transport.
-func NewDaemon(api *cuda.API, region *shm.Region, tr *boundary.Transport) *Daemon {
-	return &Daemon{
+// over any boundary channel — the legacy Transport or the shm
+// descriptor-ring RingTransport.
+func NewDaemon(api *cuda.API, region *shm.Region, tr boundary.Channel) *Daemon {
+	d := &Daemon{
 		api:       api,
 		region:    region,
 		tr:        tr,
 		journal:   newJournal(0),
 		highlevel: make(map[string]HighLevelHandler),
 	}
+	d.scratch.names = make(map[string]string, maxInternedNames)
+	return d
 }
 
 // InjectFaults attaches a fault plane whose CrashNow decisions can crash
@@ -249,18 +280,25 @@ func (d *Daemon) PumpOne() bool {
 	if d.Crashed() {
 		return false
 	}
+	d.pumpMu.Lock()
+	defer d.pumpMu.Unlock()
 	frame, ok := d.tr.RecvInUser()
 	if !ok {
 		return false
 	}
-	cmd, err := UnmarshalCommand(frame)
-	if err != nil {
+	cmd := &d.scratch.cmd
+	if err := DecodeCommandInto(cmd, d.scratch.names, frame); err != nil {
 		// Undecodable frame: no trustworthy sequence to journal. Answer
 		// with a seq-0 error the client demux will discard, forcing a
 		// clean retransmit of the command.
 		d.tel.CorruptFrames.Inc()
 		d.logErr(fmt.Sprintf("lakeD: corrupt frame (%d bytes): %v", len(frame), err))
-		d.respond(mustMarshalResponse(&Response{Result: int32(cuda.ErrInvalidValue)}))
+		resp := &d.scratch.resp
+		resp.Seq = 0
+		resp.Result = int32(cuda.ErrInvalidValue)
+		resp.Vals = resp.Vals[:0]
+		resp.Blob = resp.Blob[:0]
+		d.respond(d.mustAppendResponse(resp))
 		return true
 	}
 	d.rec.Emit(flightrec.DomainDaemon, flightrec.EvDispatch,
@@ -290,12 +328,12 @@ func (d *Daemon) PumpOne() bool {
 		// process dies before the response reaches the socket. The
 		// client's redelivery is answered from the journal — never
 		// re-executed.
-		out := mustMarshalResponse(d.handleCmd(cmd))
+		out := d.mustAppendResponse(d.handleCmd(cmd))
 		d.journal.record(cmd.Seq, out)
 		d.crash(faults.CrashAfterExec, cmd)
 		return false
 	}
-	out := mustMarshalResponse(d.handleCmd(cmd))
+	out := d.mustAppendResponse(d.handleCmd(cmd))
 	d.journal.record(cmd.Seq, out)
 	d.respond(out)
 	d.rec.Emit(flightrec.DomainDaemon, flightrec.EvRespond,
@@ -330,13 +368,16 @@ func (d *Daemon) respond(out []byte) {
 	d.tel.Handled.Inc()
 }
 
-// mustMarshalResponse encodes a response the daemon built itself; failure
-// is a bug, not an input condition.
-func mustMarshalResponse(resp *Response) []byte {
-	out, err := MarshalResponse(resp)
+// mustAppendResponse encodes a response the daemon built itself into the
+// pump's reusable outbound buffer; failure is a bug, not an input
+// condition. The returned frame is valid until the next pump (the journal
+// copies it on record; the transport copies it on send).
+func (d *Daemon) mustAppendResponse(resp *Response) []byte {
+	out, err := AppendResponse(d.scratch.out[:0], resp)
 	if err != nil {
 		panic(fmt.Sprintf("remoting: marshal response: %v", err))
 	}
+	d.scratch.out = out
 	return out
 }
 
@@ -353,7 +394,11 @@ func (d *Daemon) handleCmd(cmd *Command) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			d.logErr(fmt.Sprintf("lakeD: panic in %s seq=%d: %v", cmd.API, cmd.Seq, r))
-			resp = &Response{Seq: cmd.Seq, Result: int32(cuda.ErrUnknown)}
+			resp = &d.scratch.resp
+			resp.Seq = cmd.Seq
+			resp.Result = int32(cuda.ErrUnknown)
+			resp.Vals = resp.Vals[:0]
+			resp.Blob = resp.Blob[:0]
 		}
 		d.rec.Emit(flightrec.DomainDaemon, flightrec.EvExecEnd,
 			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(uint32(resp.Result)), 0)
@@ -382,8 +427,15 @@ func arg(cmd *Command, i int) uint64 {
 	return 0
 }
 
+// execute serves one decoded command into the pump's scratch response.
+// Every case appends into the response's recycled Vals/Blob storage, so a
+// warmed daemon builds responses without heap allocation.
 func (d *Daemon) execute(cmd *Command) *Response {
-	resp := &Response{Seq: cmd.Seq, Result: int32(cuda.Success)}
+	resp := &d.scratch.resp
+	resp.Seq = cmd.Seq
+	resp.Result = int32(cuda.Success)
+	resp.Vals = resp.Vals[:0]
+	resp.Blob = resp.Blob[:0]
 	switch cmd.API {
 	case APICuInit:
 		resp.Result = int32(d.api.Init())
@@ -391,12 +443,12 @@ func (d *Daemon) execute(cmd *Command) *Response {
 	case APICuDeviceGetCount:
 		n, r := d.api.DeviceGetCount()
 		resp.Result = int32(r)
-		resp.Vals = []uint64{uint64(n)}
+		resp.Vals = append(resp.Vals, uint64(n))
 
 	case APICuDeviceGetName:
 		name, r := d.api.DeviceGetName()
 		resp.Result = int32(r)
-		resp.Blob = []byte(name)
+		resp.Blob = append(resp.Blob, name...)
 
 	case APICuCtxCreate:
 		// Optional arg 0 pins the context to device ordinal-1; 0 (or no
@@ -409,7 +461,7 @@ func (d *Daemon) execute(cmd *Command) *Response {
 			h, r = d.api.CtxCreate(cmd.Name)
 		}
 		resp.Result = int32(r)
-		resp.Vals = []uint64{h}
+		resp.Vals = append(resp.Vals, h)
 
 	case APICuCtxDestroy:
 		resp.Result = int32(d.api.CtxDestroy(arg(cmd, 0)))
@@ -425,7 +477,7 @@ func (d *Daemon) execute(cmd *Command) *Response {
 			ptr, r = d.api.MemAlloc(int64(arg(cmd, 0)))
 		}
 		resp.Result = int32(r)
-		resp.Vals = []uint64{uint64(ptr)}
+		resp.Vals = append(resp.Vals, uint64(ptr))
 
 	case APICuMemFree:
 		resp.Result = int32(d.api.MemFree(gpu.DevPtr(arg(cmd, 0))))
@@ -434,17 +486,17 @@ func (d *Daemon) execute(cmd *Command) *Response {
 		resp.Result = int32(d.memcpyHtoD(cmd))
 
 	case APICuMemcpyDtoH:
-		resp.Result, resp.Blob = d.memcpyDtoH(cmd)
+		d.memcpyDtoH(cmd, resp)
 
 	case APICuModuleLoad:
 		h, r := d.api.ModuleLoad(cmd.Name)
 		resp.Result = int32(r)
-		resp.Vals = []uint64{h}
+		resp.Vals = append(resp.Vals, h)
 
 	case APICuModuleGetFunction:
 		h, r := d.api.ModuleGetFunction(arg(cmd, 0), cmd.Name)
 		resp.Result = int32(r)
-		resp.Vals = []uint64{h}
+		resp.Vals = append(resp.Vals, h)
 
 	case APICuLaunchKernel:
 		if len(cmd.Args) < 2 {
@@ -464,7 +516,7 @@ func (d *Daemon) execute(cmd *Command) *Response {
 		u := nvml.AggregateUtilizationRates(d.api.Devices())
 		d.tel.GPUUtil.Set(int64(u.GPU))
 		d.tel.MemUtil.Set(int64(u.Memory))
-		resp.Vals = []uint64{uint64(u.GPU), uint64(u.Memory)}
+		resp.Vals = append(resp.Vals, uint64(u.GPU), uint64(u.Memory))
 
 	case APINvmlDeviceUtilization:
 		devs := d.api.Devices()
@@ -474,17 +526,17 @@ func (d *Daemon) execute(cmd *Command) *Response {
 			break
 		}
 		u := nvml.DeviceGetUtilizationRates(devs[ord])
-		resp.Vals = []uint64{uint64(u.GPU), uint64(u.Memory)}
+		resp.Vals = append(resp.Vals, uint64(u.GPU), uint64(u.Memory))
 
 	case APICuMemGetInfo:
 		free, total, r := d.api.MemGetInfo()
 		resp.Result = int32(r)
-		resp.Vals = []uint64{uint64(free), uint64(total)}
+		resp.Vals = append(resp.Vals, uint64(free), uint64(total))
 
 	case APICuStreamCreate:
 		h, r := d.api.StreamCreate(arg(cmd, 0))
 		resp.Result = int32(r)
-		resp.Vals = []uint64{h}
+		resp.Vals = append(resp.Vals, h)
 
 	case APICuStreamDestroy:
 		resp.Result = int32(d.api.StreamDestroy(arg(cmd, 0)))
@@ -506,14 +558,14 @@ func (d *Daemon) execute(cmd *Command) *Response {
 		resp.Result = int32(d.api.LaunchKernelAsync(cmd.Args[0], cmd.Args[1], cmd.Args[2], cmd.Args[3:]))
 
 	case APIBatchedInfer:
-		return d.batchedInfer(cmd)
+		d.batchedInfer(cmd, resp)
 
 	case APIPing:
 		// Heartbeat (supervision): reports the restart generation and the
 		// served-command count, letting the supervisor detect silent
 		// restarts and confirm liveness after ReAttached.
 		d.mu.Lock()
-		resp.Vals = []uint64{d.generation, uint64(d.handled)}
+		resp.Vals = append(resp.Vals, d.generation, uint64(d.handled))
 		d.mu.Unlock()
 
 	case APIHighLevel:
@@ -526,7 +578,8 @@ func (d *Daemon) execute(cmd *Command) *Response {
 		}
 		vals, blob, r := h(d.api, d.region, cmd.Args, cmd.Blob)
 		resp.Result = int32(r)
-		resp.Vals, resp.Blob = vals, blob
+		resp.Vals = append(resp.Vals, vals...)
+		resp.Blob = append(resp.Blob, blob...)
 
 	default:
 		resp.Result = int32(cuda.ErrInvalidValue)
@@ -586,27 +639,36 @@ func (d *Daemon) memcpyAsync(cmd *Command, htod bool) cuda.Result {
 }
 
 // memcpyDtoH mirrors memcpyHtoD for device-to-host copies: args =
-// [src, shmOff, len, viaShm].
-func (d *Daemon) memcpyDtoH(cmd *Command) (int32, []byte) {
+// [src, shmOff, len, viaShm]. The inline return path reuses the scratch
+// response's Blob capacity for the copied-back payload.
+func (d *Daemon) memcpyDtoH(cmd *Command, resp *Response) {
 	if len(cmd.Args) < 4 {
-		return int32(cuda.ErrInvalidValue), nil
+		resp.Result = int32(cuda.ErrInvalidValue)
+		return
 	}
 	src := gpu.DevPtr(cmd.Args[0])
 	length := int64(cmd.Args[2])
 	if length < 0 || length > maxBlob {
-		return int32(cuda.ErrInvalidValue), nil
+		resp.Result = int32(cuda.ErrInvalidValue)
+		return
 	}
 	if cmd.Args[3] == 1 {
 		view, err := d.region.At(int64(cmd.Args[1]), length)
 		if err != nil {
-			return int32(cuda.ErrInvalidValue), nil
+			resp.Result = int32(cuda.ErrInvalidValue)
+			return
 		}
-		return int32(d.api.MemcpyDtoH(view, src)), nil
+		resp.Result = int32(d.api.MemcpyDtoH(view, src))
+		return
 	}
-	buf := make([]byte, length)
-	r := d.api.MemcpyDtoH(buf, src)
+	if int64(cap(resp.Blob)) < length {
+		resp.Blob = make([]byte, length)
+	} else {
+		resp.Blob = resp.Blob[:length]
+	}
+	r := d.api.MemcpyDtoH(resp.Blob, src)
+	resp.Result = int32(r)
 	if r != cuda.Success {
-		return int32(r), nil
+		resp.Blob = resp.Blob[:0]
 	}
-	return int32(r), buf
 }

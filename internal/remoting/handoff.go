@@ -115,13 +115,23 @@ func UnmarshalHandoff(frame []byte) (*Handoff, error) {
 	return h, nil
 }
 
-// export snapshots the journal's live entries in FIFO order.
+// export snapshots the journal's live entries in FIFO order, walking the
+// slot ring from the eviction cursor (the oldest live entry once wrapped).
+// Frames are copied: the snapshot must stay intact while the source journal
+// keeps recording during a drain.
 func (j *journal) export() []JournalEntry {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	out := make([]JournalEntry, 0, len(j.fifo))
-	for _, seq := range j.fifo {
-		out = append(out, JournalEntry{Seq: seq, Frame: j.byseq[seq]})
+	out := make([]JournalEntry, 0, j.live)
+	n := len(j.slots)
+	for k := 0; k < n; k++ {
+		s := &j.slots[(j.next+k)%n]
+		if !s.used {
+			continue
+		}
+		frame := make([]byte, len(s.buf))
+		copy(frame, s.buf)
+		out = append(out, JournalEntry{Seq: s.seq, Frame: frame})
 	}
 	return out
 }

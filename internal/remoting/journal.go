@@ -17,14 +17,28 @@ import "sync"
 //
 // Capacity is bounded FIFO: sequence numbers are issued monotonically and a
 // client abandons a call long before the journal cycles, so evicting the
-// oldest entries is safe.
+// oldest entries is safe. Storage is a preallocated slot ring — record
+// copies the frame into the slot's recycled buffer and eviction is
+// overwrite-in-place — so a warmed journal records without heap allocation
+// (part of the serving path's 0 allocs/op budget).
 type journal struct {
-	mu     sync.Mutex
-	cap    int
-	byseq  map[uint64][]byte
-	fifo   []uint64
+	mu sync.Mutex
+	// slots is the fixed ring; next is the cursor the next record lands on
+	// (== the oldest live entry once the ring has wrapped).
+	slots []jentry
+	next  int
+	// byseq indexes live slots by sequence number.
+	byseq  map[uint64]int
+	live   int
 	hits   int64
 	evicts int64
+}
+
+// jentry is one journal slot. buf keeps its capacity across evictions.
+type jentry struct {
+	seq  uint64
+	buf  []byte
+	used bool
 }
 
 // defaultJournalCap covers far more in-flight sequences than the transport
@@ -35,23 +49,29 @@ func newJournal(capacity int) *journal {
 	if capacity <= 0 {
 		capacity = defaultJournalCap
 	}
-	return &journal{cap: capacity, byseq: make(map[uint64][]byte, capacity)}
+	return &journal{
+		slots: make([]jentry, capacity),
+		byseq: make(map[uint64]int, capacity),
+	}
 }
 
 // lookup returns the recorded response frame for seq, if any, counting a
-// hit (a detected redelivery).
+// hit (a detected redelivery). The returned frame aliases journal storage:
+// it is valid until the journal cycles past the entry, which cannot happen
+// before the caller's immediately following send (the transport copies).
 func (j *journal) lookup(seq uint64) ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	frame, ok := j.byseq[seq]
-	if ok {
-		j.hits++
+	i, ok := j.byseq[seq]
+	if !ok {
+		return nil, false
 	}
-	return frame, ok
+	j.hits++
+	return j.slots[i].buf, true
 }
 
-// record stores the response frame for seq, evicting the oldest entry at
-// capacity. Recording an already-present seq is a no-op (the first
+// record stores a copy of the response frame for seq, evicting the oldest
+// entry at capacity. Recording an already-present seq is a no-op (the first
 // execution's response stands).
 func (j *journal) record(seq uint64, frame []byte) {
 	j.mu.Lock()
@@ -59,19 +79,26 @@ func (j *journal) record(seq uint64, frame []byte) {
 	if _, dup := j.byseq[seq]; dup {
 		return
 	}
-	if len(j.fifo) >= j.cap {
-		old := j.fifo[0]
-		j.fifo = j.fifo[1:]
-		delete(j.byseq, old)
+	s := &j.slots[j.next]
+	if s.used {
+		delete(j.byseq, s.seq)
 		j.evicts++
+	} else {
+		s.used = true
+		j.live++
 	}
-	j.byseq[seq] = frame
-	j.fifo = append(j.fifo, seq)
+	s.seq = seq
+	s.buf = append(s.buf[:0], frame...)
+	j.byseq[seq] = j.next
+	j.next++
+	if j.next == len(j.slots) {
+		j.next = 0
+	}
 }
 
 // stats returns (hits, evictions, live entries).
 func (j *journal) stats() (hits, evicts int64, live int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.hits, j.evicts, len(j.fifo)
+	return j.hits, j.evicts, j.live
 }

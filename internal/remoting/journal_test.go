@@ -51,8 +51,8 @@ func TestJournalFIFOEviction(t *testing.T) {
 
 func TestJournalDefaultCapacity(t *testing.T) {
 	j := newJournal(0)
-	if j.cap != defaultJournalCap {
-		t.Fatalf("cap = %d, want %d", j.cap, defaultJournalCap)
+	if len(j.slots) != defaultJournalCap {
+		t.Fatalf("cap = %d, want %d", len(j.slots), defaultJournalCap)
 	}
 }
 

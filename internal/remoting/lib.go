@@ -25,11 +25,17 @@ var ErrTransport = errors.New("remoting: transport failure")
 // CUDA API in kernel space, we must have a function with the same name in
 // lakeLib").
 //
-// Every call marshals a command, ships it through the boundary transport,
+// Every call marshals a command, ships it through the boundary channel,
 // drives the daemon, and unmarshals the response, charging the channel's
 // modeled round-trip cost exactly once. Lib is safe for concurrent use.
+//
+// The call path is allocation-free at steady state: command, response, and
+// frame storage live in a pooled callState (acquired per call, recycled on
+// completion), and the wire codecs are the Append*/Decode*Into variants
+// that reuse that storage. The CI allocgate job holds the path at
+// 0 allocs/op.
 type Lib struct {
-	tr     *boundary.Transport
+	tr     boundary.Channel
 	daemon *Daemon
 	region *shm.Region
 
@@ -45,6 +51,11 @@ type Lib struct {
 	// each other's responses (the prototype's Netlink usage is likewise
 	// serialized per socket).
 	callMu sync.Mutex
+
+	// pool recycles callState so the steady-state call path performs no
+	// heap allocation (the arena/pool the ring transport's 0 allocs/op
+	// target requires).
+	pool sync.Pool
 
 	mu          sync.Mutex
 	calls       int64
@@ -67,6 +78,41 @@ type Lib struct {
 	// telemetry instruments. It also serves as the trace-ID allocator for
 	// the whole stack, so IDs are unique across lib, batcher, and daemon.
 	rec *flightrec.Recorder
+}
+
+// callState is one remoted invocation's working storage: the command being
+// issued, the marshaled wire frame, and the decoded response. States are
+// pooled; all slices keep their capacity across calls, so a warmed-up Lib
+// issues commands without touching the heap.
+type callState struct {
+	cmd   Command
+	resp  Response
+	frame []byte
+}
+
+// newCall acquires a pooled callState primed for api. The embedded command
+// and response keep their slice capacities; lengths and scalar fields are
+// reset.
+func (l *Lib) newCall(api APIID) *callState {
+	cs, _ := l.pool.Get().(*callState)
+	if cs == nil {
+		cs = new(callState)
+	}
+	cs.cmd = Command{API: api, Args: cs.cmd.Args[:0]}
+	cs.resp.Seq = 0
+	cs.resp.Result = 0
+	cs.resp.Vals = cs.resp.Vals[:0]
+	cs.resp.Blob = cs.resp.Blob[:0]
+	return cs
+}
+
+// done recycles a callState. References into caller memory (inline blob,
+// name) are dropped so the pool never pins a caller's buffer; the state's
+// own slices keep their capacity.
+func (l *Lib) done(cs *callState) {
+	cs.cmd.Name = ""
+	cs.cmd.Blob = nil
+	l.pool.Put(cs)
 }
 
 // LibTelemetry is lakeLib's instrument set; all fields may be nil.
@@ -101,10 +147,11 @@ func (l *Lib) SetFlightRecorder(rec *flightrec.Recorder) {
 	l.rec = rec
 }
 
-// NewLib creates the kernel-side stub library. The daemon is driven
-// synchronously from within calls, which keeps virtual-time accounting
-// deterministic while the full wire protocol still runs.
-func NewLib(tr *boundary.Transport, daemon *Daemon, region *shm.Region) *Lib {
+// NewLib creates the kernel-side stub library over any boundary channel —
+// the legacy Transport or the shm descriptor-ring RingTransport. The daemon
+// is driven synchronously from within calls, which keeps virtual-time
+// accounting deterministic while the full wire protocol still runs.
+func NewLib(tr boundary.Channel, daemon *Daemon, region *shm.Region) *Lib {
 	return &Lib{tr: tr, daemon: daemon, region: region}
 }
 
@@ -170,11 +217,12 @@ func (l *Lib) MarkRecovered() {
 // generation and served-command count. It bypasses the daemon-dead fast
 // path so the supervisor can probe a daemon it just restarted.
 func (l *Lib) Ping() (generation uint64, handled int64, ok bool) {
-	resp, err := l.call(&Command{API: APIPing})
-	if err != nil || cuda.Result(resp.Result) != cuda.Success {
+	cs := l.newCall(APIPing)
+	defer l.done(cs)
+	if err := l.call(cs); err != nil || cuda.Result(cs.resp.Result) != cuda.Success {
 		return 0, 0, false
 	}
-	return val(resp, 0), int64(val(resp, 1)), true
+	return val(&cs.resp, 0), int64(val(&cs.resp, 1)), true
 }
 
 func (l *Lib) resilience() *Resilience {
@@ -183,8 +231,10 @@ func (l *Lib) resilience() *Resilience {
 	return l.res
 }
 
-// call performs one remoted invocation end to end.
-func (l *Lib) call(cmd *Command) (*Response, error) {
+// call performs one remoted invocation end to end: cs.cmd goes out, cs.resp
+// holds the decoded response on a nil return.
+func (l *Lib) call(cs *callState) error {
+	cmd := &cs.cmd
 	cmd.Seq = l.shardTag | l.seq.Add(1)
 	// A trace ID is assigned only when something will consume it (recorder
 	// or tracer enabled); otherwise the command keeps TraceID 0 and the wire
@@ -194,9 +244,10 @@ func (l *Lib) call(cmd *Command) (*Response, error) {
 		cmd.TraceID = l.rec.NextTraceID()
 	}
 	marshalWall := time.Now()
-	frame, err := MarshalCommand(cmd)
+	frame, err := AppendCommand(cs.frame[:0], cmd)
+	cs.frame = frame
 	if err != nil {
-		return nil, err
+		return err
 	}
 	marshalTook := time.Since(marshalWall)
 	l.callMu.Lock()
@@ -217,46 +268,45 @@ func (l *Lib) call(cmd *Command) (*Response, error) {
 		}
 	}
 	res := l.resilience()
-	var resp *Response
 	if res == nil {
-		resp, err = l.exchangeOnce(cmd, frame)
+		err = l.exchangeOnce(cs)
 	} else {
-		resp, err = l.exchangeResilient(cmd, frame, res)
+		err = l.exchangeResilient(cs, res)
 	}
 	if err == nil {
 		l.tel.Calls.Inc()
 		l.tel.CallLatency.ObserveDuration(l.tr.Clock().Now() - vstart)
 		l.rec.Emit(flightrec.DomainKernel, flightrec.EvCallEnd,
-			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(uint32(resp.Result)), 0)
+			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(uint32(cs.resp.Result)), 0)
 	} else {
 		l.rec.Emit(flightrec.DomainKernel, flightrec.EvCallEnd,
 			cmd.TraceID, cmd.Seq, 0, uint64(cmd.API), uint64(uint32(cuda.ErrUnknown)), 1)
 	}
-	return resp, err
+	return err
 }
 
 // exchangeOnce is the legacy single-attempt exchange: one send, one pump,
 // one receive, strict sequence match. Kept verbatim so stacks that never
 // arm resilience behave exactly as before.
-func (l *Lib) exchangeOnce(cmd *Command, frame []byte) (*Response, error) {
-	if err := l.tr.SendToUser(frame); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTransport, err)
+func (l *Lib) exchangeOnce(cs *callState) error {
+	cmd := &cs.cmd
+	if err := l.tr.SendToUser(cs.frame); err != nil {
+		return fmt.Errorf("%w: %v", ErrTransport, err)
 	}
 	if !l.daemon.PumpOne() {
-		return nil, fmt.Errorf("%w: daemon did not observe command", ErrTransport)
+		return fmt.Errorf("%w: daemon did not observe command", ErrTransport)
 	}
 	demuxWall := time.Now()
 	respFrame, ok := l.tr.RecvInKernel()
 	if !ok {
-		return nil, fmt.Errorf("%w: no response", ErrTransport)
+		return fmt.Errorf("%w: no response", ErrTransport)
 	}
-	resp, err := UnmarshalResponse(respFrame)
-	if err != nil {
-		return nil, err
+	if err := DecodeResponseInto(&cs.resp, respFrame); err != nil {
+		return err
 	}
-	if resp.Seq != cmd.Seq {
-		return nil, fmt.Errorf("%w: response seq %d for command %d",
-			ErrTransport, resp.Seq, cmd.Seq)
+	if cs.resp.Seq != cmd.Seq {
+		return fmt.Errorf("%w: response seq %d for command %d",
+			ErrTransport, cs.resp.Seq, cmd.Seq)
 	}
 	if sp := l.tel.Tracer.Open(cmd.TraceID); sp != nil {
 		vnow := l.tr.Clock().Now()
@@ -267,15 +317,15 @@ func (l *Lib) exchangeOnce(cmd *Command, frame []byte) (*Response, error) {
 	// Charge the channel's modeled cost for what actually crossed the
 	// boundary in both directions (Fig 6's size-dependent overhead).
 	chTimer := l.tel.Tracer.Open(cmd.TraceID).StageTimer("channel", l.tr.Clock().Now())
-	d := l.tr.ChargeRoundTrip(len(frame) + len(respFrame))
+	d := l.tr.ChargeRoundTrip(len(cs.frame) + len(respFrame))
 	chTimer.End(l.tr.Clock().Now())
 	l.rec.Emit(flightrec.DomainKernel, flightrec.EvChannel,
-		cmd.TraceID, cmd.Seq, 0, uint64(d), uint64(len(frame)+len(respFrame)), 0)
+		cmd.TraceID, cmd.Seq, 0, uint64(d), uint64(len(cs.frame)+len(respFrame)), 0)
 	l.mu.Lock()
 	l.calls++
 	l.remotedTime += d
 	l.mu.Unlock()
-	return resp, nil
+	return nil
 }
 
 // exchangeResilient performs one call under the armed Resilience: bounded
@@ -284,13 +334,14 @@ func (l *Lib) exchangeOnce(cmd *Command, frame []byte) (*Response, error) {
 // charged to the virtual clock, a per-call virtual-time deadline, and the
 // recovery hook when a full retry round fails. Every error is wrapped with
 // the command name and sequence for attribution.
-func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*Response, error) {
+func (l *Lib) exchangeResilient(cs *callState, res *Resilience) error {
+	cmd := &cs.cmd
 	if cmd.API != APIPing && !l.Healthy() {
 		l.mu.Lock()
 		l.rstats.DaemonDead++
 		l.mu.Unlock()
 		l.tel.DaemonDead.Inc()
-		return nil, fmt.Errorf("%s seq=%d: %w", cmd.API, cmd.Seq, ErrDaemonDead)
+		return fmt.Errorf("%s seq=%d: %w", cmd.API, cmd.Seq, ErrDaemonDead)
 	}
 	start := l.tr.Clock().Now()
 	overDeadline := func() bool {
@@ -305,12 +356,12 @@ func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*R
 			l.rstats.DeadlineExceeded++
 			l.mu.Unlock()
 			l.tel.DeadlineExceeded.Inc()
-			return nil, fmt.Errorf("%s seq=%d after %v: %w (last: %v)",
+			return fmt.Errorf("%s seq=%d after %v: %w (last: %v)",
 				cmd.API, cmd.Seq, l.tr.Clock().Now()-start, ErrDeadlineExceeded, lastErr)
 		}
-		resp, err := l.attemptOnce(cmd, frame)
+		err := l.attemptOnce(cs)
 		if err == nil {
-			return resp, nil
+			return nil
 		}
 		lastErr = err
 		attempt++
@@ -344,17 +395,18 @@ func (l *Lib) exchangeResilient(cmd *Command, frame []byte, res *Resilience) (*R
 		l.dead = true
 		l.mu.Unlock()
 		l.tel.DaemonDead.Inc()
-		return nil, fmt.Errorf("%s seq=%d: %w (last: %v)", cmd.API, cmd.Seq, ErrDaemonDead, err)
+		return fmt.Errorf("%s seq=%d: %w (last: %v)", cmd.API, cmd.Seq, ErrDaemonDead, err)
 	}
 }
 
-// attemptOnce sends frame, drives the daemon through everything queued
+// attemptOnce sends the frame, drives the daemon through everything queued
 // (retransmissions and channel duplicates dedup via the journal), and
 // demultiplexes responses: corrupt frames and stale sequences are counted
 // and discarded; only this call's sequence completes the attempt.
-func (l *Lib) attemptOnce(cmd *Command, frame []byte) (*Response, error) {
-	if err := l.tr.SendToUser(frame); err != nil {
-		return nil, fmt.Errorf("%s seq=%d: %w: %v", cmd.API, cmd.Seq, ErrTransport, err)
+func (l *Lib) attemptOnce(cs *callState) error {
+	cmd := &cs.cmd
+	if err := l.tr.SendToUser(cs.frame); err != nil {
+		return fmt.Errorf("%s seq=%d: %w: %v", cmd.API, cmd.Seq, ErrTransport, err)
 	}
 	for l.daemon.PumpOne() {
 	}
@@ -362,17 +414,16 @@ func (l *Lib) attemptOnce(cmd *Command, frame []byte) (*Response, error) {
 	for {
 		respFrame, ok := l.tr.RecvInKernel()
 		if !ok {
-			return nil, fmt.Errorf("%s seq=%d: %w: no response", cmd.API, cmd.Seq, ErrTransport)
+			return fmt.Errorf("%s seq=%d: %w: no response", cmd.API, cmd.Seq, ErrTransport)
 		}
-		resp, err := UnmarshalResponse(respFrame)
-		if err != nil {
+		if err := DecodeResponseInto(&cs.resp, respFrame); err != nil {
 			l.mu.Lock()
 			l.rstats.CorruptResponses++
 			l.mu.Unlock()
 			l.tel.CorruptResponses.Inc()
 			continue
 		}
-		if resp.Seq != cmd.Seq {
+		if cs.resp.Seq != cmd.Seq {
 			// A duplicate of an earlier call's response, a journal
 			// redelivery that raced a completed call, or the daemon's
 			// seq-0 reject of a corrupted command.
@@ -389,30 +440,35 @@ func (l *Lib) attemptOnce(cmd *Command, frame []byte) (*Response, error) {
 		l.rec.Emit(flightrec.DomainKernel, flightrec.EvDemux,
 			cmd.TraceID, cmd.Seq, 0, uint64(time.Since(demuxWall)), 0, 0)
 		chTimer := l.tel.Tracer.Open(cmd.TraceID).StageTimer("channel", l.tr.Clock().Now())
-		d := l.tr.ChargeRoundTrip(len(frame) + len(respFrame))
+		d := l.tr.ChargeRoundTrip(len(cs.frame) + len(respFrame))
 		chTimer.End(l.tr.Clock().Now())
 		l.rec.Emit(flightrec.DomainKernel, flightrec.EvChannel,
-			cmd.TraceID, cmd.Seq, 0, uint64(d), uint64(len(frame)+len(respFrame)), 0)
+			cmd.TraceID, cmd.Seq, 0, uint64(d), uint64(len(cs.frame)+len(respFrame)), 0)
 		l.mu.Lock()
 		l.calls++
 		l.remotedTime += d
 		l.mu.Unlock()
-		return resp, nil
+		return nil
 	}
 }
 
-func (l *Lib) callRes(cmd *Command) (cuda.Result, *Response) {
-	resp, err := l.call(cmd)
-	if err != nil {
+// doCall runs cs through the call path and maps transport-level failures to
+// CUDA results the way the stubs surface them. On failure the response's
+// payload slices are emptied so stale values from a recycled state can
+// never leak into a caller.
+func (l *Lib) doCall(cs *callState) cuda.Result {
+	if err := l.call(cs); err != nil {
+		cs.resp.Vals = cs.resp.Vals[:0]
+		cs.resp.Blob = cs.resp.Blob[:0]
 		if errors.Is(err, ErrDaemonDead) || errors.Is(err, ErrDeadlineExceeded) {
 			// The accelerator service is unavailable, not the request
 			// invalid: surface CUDA_ERROR_SYSTEM_NOT_READY so callers
 			// route to their CPU fallback (Fig 3 policy handles the rest).
-			return cuda.ErrNotReady, nil
+			return cuda.ErrNotReady
 		}
-		return cuda.ErrUnknown, nil
+		return cuda.ErrUnknown
 	}
-	return cuda.Result(resp.Result), resp
+	return cuda.Result(cs.resp.Result)
 }
 
 func val(resp *Response, i int) uint64 {
@@ -424,30 +480,39 @@ func val(resp *Response, i int) uint64 {
 
 // CuInit remotes cuInit.
 func (l *Lib) CuInit() cuda.Result {
-	r, _ := l.callRes(&Command{API: APICuInit})
+	cs := l.newCall(APICuInit)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
 // CuDeviceGetCount remotes cuDeviceGetCount.
 func (l *Lib) CuDeviceGetCount() (int, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuDeviceGetCount})
-	return int(val(resp, 0)), r
+	cs := l.newCall(APICuDeviceGetCount)
+	r := l.doCall(cs)
+	n := int(val(&cs.resp, 0))
+	l.done(cs)
+	return n, r
 }
 
 // CuDeviceGetName remotes cuDeviceGetName.
 func (l *Lib) CuDeviceGetName() (string, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuDeviceGetName})
-	if resp == nil {
-		return "", r
-	}
-	return string(resp.Blob), r
+	cs := l.newCall(APICuDeviceGetName)
+	r := l.doCall(cs)
+	name := string(cs.resp.Blob)
+	l.done(cs)
+	return name, r
 }
 
 // CuCtxCreate remotes cuCtxCreate; client tags the context for utilization
 // attribution.
 func (l *Lib) CuCtxCreate(client string) (uint64, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuCtxCreate, Name: client})
-	return val(resp, 0), r
+	cs := l.newCall(APICuCtxCreate)
+	cs.cmd.Name = client
+	r := l.doCall(cs)
+	h := val(&cs.resp, 0)
+	l.done(cs)
+	return h, r
 }
 
 // CuCtxCreateOnDevice remotes cuCtxCreate pinned to a device ordinal,
@@ -455,38 +520,60 @@ func (l *Lib) CuCtxCreate(client string) (uint64, cuda.Result) {
 // the zero value (and the argless single-device wire shape) still means
 // "let placement choose".
 func (l *Lib) CuCtxCreateOnDevice(client string, ord int) (uint64, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuCtxCreate, Name: client, Args: []uint64{uint64(ord) + 1}})
-	return val(resp, 0), r
+	cs := l.newCall(APICuCtxCreate)
+	cs.cmd.Name = client
+	cs.cmd.Args = append(cs.cmd.Args, uint64(ord)+1)
+	r := l.doCall(cs)
+	h := val(&cs.resp, 0)
+	l.done(cs)
+	return h, r
 }
 
 // CuCtxDestroy remotes cuCtxDestroy.
 func (l *Lib) CuCtxDestroy(ctx uint64) cuda.Result {
-	r, _ := l.callRes(&Command{API: APICuCtxDestroy, Args: []uint64{ctx}})
+	cs := l.newCall(APICuCtxDestroy)
+	cs.cmd.Args = append(cs.cmd.Args, ctx)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
 // CuMemAlloc remotes cuMemAlloc.
 func (l *Lib) CuMemAlloc(size int64) (gpu.DevPtr, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuMemAlloc, Args: []uint64{uint64(size)}})
-	return gpu.DevPtr(val(resp, 0)), r
+	cs := l.newCall(APICuMemAlloc)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(size))
+	r := l.doCall(cs)
+	ptr := gpu.DevPtr(val(&cs.resp, 0))
+	l.done(cs)
+	return ptr, r
 }
 
 // CuMemAllocOnDevice remotes cuMemAlloc against an explicit device
 // ordinal; the returned pointer carries the ordinal tag.
 func (l *Lib) CuMemAllocOnDevice(size int64, ord int) (gpu.DevPtr, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuMemAlloc, Args: []uint64{uint64(size), uint64(ord)}})
-	return gpu.DevPtr(val(resp, 0)), r
+	cs := l.newCall(APICuMemAlloc)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(size), uint64(ord))
+	r := l.doCall(cs)
+	ptr := gpu.DevPtr(val(&cs.resp, 0))
+	l.done(cs)
+	return ptr, r
 }
 
 // CuMemGetInfo remotes cuMemGetInfo: free and total device memory.
 func (l *Lib) CuMemGetInfo() (free, total int64, r cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuMemGetInfo})
-	return int64(val(resp, 0)), int64(val(resp, 1)), r
+	cs := l.newCall(APICuMemGetInfo)
+	r = l.doCall(cs)
+	free, total = int64(val(&cs.resp, 0)), int64(val(&cs.resp, 1))
+	l.done(cs)
+	return free, total, r
 }
 
 // CuMemFree remotes cuMemFree.
 func (l *Lib) CuMemFree(ptr gpu.DevPtr) cuda.Result {
-	r, _ := l.callRes(&Command{API: APICuMemFree, Args: []uint64{uint64(ptr)}})
+	cs := l.newCall(APICuMemFree)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(ptr))
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
@@ -496,10 +583,10 @@ func (l *Lib) CuMemcpyHtoDShm(dst gpu.DevPtr, src *shm.Buffer, n int64) cuda.Res
 	if n > src.Size() {
 		return cuda.ErrInvalidValue
 	}
-	r, _ := l.callRes(&Command{
-		API:  APICuMemcpyHtoD,
-		Args: []uint64{uint64(dst), uint64(src.Offset()), uint64(n), 1},
-	})
+	cs := l.newCall(APICuMemcpyHtoD)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(dst), uint64(src.Offset()), uint64(n), 1)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
@@ -508,11 +595,11 @@ func (l *Lib) CuMemcpyHtoDShm(dst gpu.DevPtr, src *shm.Buffer, n int64) cuda.Res
 // still works "if applications do not use lakeShm ... this will just cause
 // extra data copies" (and the correspondingly larger Fig 6 charge).
 func (l *Lib) CuMemcpyHtoD(dst gpu.DevPtr, src []byte) cuda.Result {
-	r, _ := l.callRes(&Command{
-		API:  APICuMemcpyHtoD,
-		Args: []uint64{uint64(dst), 0, uint64(len(src)), 0},
-		Blob: src,
-	})
+	cs := l.newCall(APICuMemcpyHtoD)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(dst), 0, uint64(len(src)), 0)
+	cs.cmd.Blob = src
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
@@ -521,87 +608,113 @@ func (l *Lib) CuMemcpyDtoHShm(dst *shm.Buffer, src gpu.DevPtr, n int64) cuda.Res
 	if n > dst.Size() {
 		return cuda.ErrInvalidValue
 	}
-	r, _ := l.callRes(&Command{
-		API:  APICuMemcpyDtoH,
-		Args: []uint64{uint64(src), uint64(dst.Offset()), uint64(n), 1},
-	})
+	cs := l.newCall(APICuMemcpyDtoH)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(src), uint64(dst.Offset()), uint64(n), 1)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
 // CuMemcpyDtoH copies device memory into an ordinary kernel buffer; the data
 // rides back inline in the response (extra copy).
 func (l *Lib) CuMemcpyDtoH(dst []byte, src gpu.DevPtr) cuda.Result {
-	r, resp := l.callRes(&Command{
-		API:  APICuMemcpyDtoH,
-		Args: []uint64{uint64(src), 0, uint64(len(dst)), 0},
-	})
-	if r == cuda.Success && resp != nil {
-		copy(dst, resp.Blob)
+	cs := l.newCall(APICuMemcpyDtoH)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(src), 0, uint64(len(dst)), 0)
+	r := l.doCall(cs)
+	if r == cuda.Success {
+		copy(dst, cs.resp.Blob)
 	}
+	l.done(cs)
 	return r
 }
 
 // CuModuleLoad remotes cuModuleLoad.
 func (l *Lib) CuModuleLoad(path string) (uint64, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuModuleLoad, Name: path})
-	return val(resp, 0), r
+	cs := l.newCall(APICuModuleLoad)
+	cs.cmd.Name = path
+	r := l.doCall(cs)
+	h := val(&cs.resp, 0)
+	l.done(cs)
+	return h, r
 }
 
 // CuModuleGetFunction remotes cuModuleGetFunction.
 func (l *Lib) CuModuleGetFunction(module uint64, name string) (uint64, cuda.Result) {
-	r, resp := l.callRes(&Command{
-		API:  APICuModuleGetFunction,
-		Args: []uint64{module},
-		Name: name,
-	})
-	return val(resp, 0), r
+	cs := l.newCall(APICuModuleGetFunction)
+	cs.cmd.Name = name
+	cs.cmd.Args = append(cs.cmd.Args, module)
+	r := l.doCall(cs)
+	h := val(&cs.resp, 0)
+	l.done(cs)
+	return h, r
 }
 
 // CuLaunchKernel remotes cuLaunchKernel.
 func (l *Lib) CuLaunchKernel(ctx, fn uint64, args []uint64) cuda.Result {
-	all := make([]uint64, 0, 2+len(args))
-	all = append(all, ctx, fn)
-	all = append(all, args...)
-	r, _ := l.callRes(&Command{API: APICuLaunchKernel, Args: all})
+	cs := l.newCall(APICuLaunchKernel)
+	cs.cmd.Args = append(cs.cmd.Args, ctx, fn)
+	cs.cmd.Args = append(cs.cmd.Args, args...)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
 // CuCtxSynchronize remotes cuCtxSynchronize.
 func (l *Lib) CuCtxSynchronize(ctx uint64) cuda.Result {
-	r, _ := l.callRes(&Command{API: APICuCtxSynchronize, Args: []uint64{ctx}})
+	cs := l.newCall(APICuCtxSynchronize)
+	cs.cmd.Args = append(cs.cmd.Args, ctx)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
 // NvmlGetUtilization remotes the NVML utilization query policies sample
 // (Fig 3's "LAKE-remoted nvml API").
 func (l *Lib) NvmlGetUtilization() (gpuPct, memPct int, r cuda.Result) {
-	r, resp := l.callRes(&Command{API: APINvmlUtilization})
-	return int(val(resp, 0)), int(val(resp, 1)), r
+	cs := l.newCall(APINvmlUtilization)
+	r = l.doCall(cs)
+	gpuPct, memPct = int(val(&cs.resp, 0)), int(val(&cs.resp, 1))
+	l.done(cs)
+	return gpuPct, memPct, r
 }
 
 // NvmlGetDeviceUtilization remotes a single pool device's utilization by
 // ordinal (NvmlGetUtilization aggregates across the pool).
 func (l *Lib) NvmlGetDeviceUtilization(ord int) (gpuPct, memPct int, r cuda.Result) {
-	r, resp := l.callRes(&Command{API: APINvmlDeviceUtilization, Args: []uint64{uint64(ord)}})
-	return int(val(resp, 0)), int(val(resp, 1)), r
+	cs := l.newCall(APINvmlDeviceUtilization)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(ord))
+	r = l.doCall(cs)
+	gpuPct, memPct = int(val(&cs.resp, 0)), int(val(&cs.resp, 1))
+	l.done(cs)
+	return gpuPct, memPct, r
 }
 
 // CuStreamCreate remotes cuStreamCreate on the given context.
 func (l *Lib) CuStreamCreate(ctx uint64) (uint64, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APICuStreamCreate, Args: []uint64{ctx}})
-	return val(resp, 0), r
+	cs := l.newCall(APICuStreamCreate)
+	cs.cmd.Args = append(cs.cmd.Args, ctx)
+	r := l.doCall(cs)
+	h := val(&cs.resp, 0)
+	l.done(cs)
+	return h, r
 }
 
 // CuStreamDestroy remotes cuStreamDestroy.
 func (l *Lib) CuStreamDestroy(stream uint64) cuda.Result {
-	r, _ := l.callRes(&Command{API: APICuStreamDestroy, Args: []uint64{stream}})
+	cs := l.newCall(APICuStreamDestroy)
+	cs.cmd.Args = append(cs.cmd.Args, stream)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
 // CuStreamSynchronize remotes cuStreamSynchronize, draining the stream's
 // virtual timeline.
 func (l *Lib) CuStreamSynchronize(stream uint64) cuda.Result {
-	r, _ := l.callRes(&Command{API: APICuStreamSynchronize, Args: []uint64{stream}})
+	cs := l.newCall(APICuStreamSynchronize)
+	cs.cmd.Args = append(cs.cmd.Args, stream)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
@@ -612,10 +725,10 @@ func (l *Lib) CuMemcpyHtoDShmAsync(dst gpu.DevPtr, src *shm.Buffer, n int64, str
 	if n > src.Size() {
 		return cuda.ErrInvalidValue
 	}
-	r, _ := l.callRes(&Command{
-		API:  APICuMemcpyHtoDAsync,
-		Args: []uint64{uint64(dst), uint64(src.Offset()), uint64(n), stream},
-	})
+	cs := l.newCall(APICuMemcpyHtoDAsync)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(dst), uint64(src.Offset()), uint64(n), stream)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
@@ -625,29 +738,41 @@ func (l *Lib) CuMemcpyDtoHShmAsync(dst *shm.Buffer, src gpu.DevPtr, n int64, str
 	if n > dst.Size() {
 		return cuda.ErrInvalidValue
 	}
-	r, _ := l.callRes(&Command{
-		API:  APICuMemcpyDtoHAsync,
-		Args: []uint64{uint64(src), uint64(dst.Offset()), uint64(n), stream},
-	})
+	cs := l.newCall(APICuMemcpyDtoHAsync)
+	cs.cmd.Args = append(cs.cmd.Args, uint64(src), uint64(dst.Offset()), uint64(n), stream)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
 // CuLaunchKernelAsync remotes a kernel launch onto a stream.
 func (l *Lib) CuLaunchKernelAsync(ctx, fn, stream uint64, args []uint64) cuda.Result {
-	all := make([]uint64, 0, 3+len(args))
-	all = append(all, ctx, fn, stream)
-	all = append(all, args...)
-	r, _ := l.callRes(&Command{API: APICuLaunchKernelAsync, Args: all})
+	cs := l.newCall(APICuLaunchKernelAsync)
+	cs.cmd.Args = append(cs.cmd.Args, ctx, fn, stream)
+	cs.cmd.Args = append(cs.cmd.Args, args...)
+	r := l.doCall(cs)
+	l.done(cs)
 	return r
 }
 
 // CallHighLevel invokes a custom high-level API registered in lakeD under
 // name (§4.4). args and blob are handler-defined; large inputs should be
-// staged in lakeShm and referenced by offset in args.
+// staged in lakeShm and referenced by offset in args. The returned slices
+// are the caller's to keep (copied out of the pooled response).
 func (l *Lib) CallHighLevel(name string, args []uint64, blob []byte) ([]uint64, []byte, cuda.Result) {
-	r, resp := l.callRes(&Command{API: APIHighLevel, Name: name, Args: args, Blob: blob})
-	if resp == nil {
-		return nil, nil, r
+	cs := l.newCall(APIHighLevel)
+	cs.cmd.Name = name
+	cs.cmd.Args = append(cs.cmd.Args, args...)
+	cs.cmd.Blob = blob
+	r := l.doCall(cs)
+	var vals []uint64
+	var out []byte
+	if len(cs.resp.Vals) > 0 {
+		vals = append(vals, cs.resp.Vals...)
 	}
-	return resp.Vals, resp.Blob, r
+	if len(cs.resp.Blob) > 0 {
+		out = append(out, cs.resp.Blob...)
+	}
+	l.done(cs)
+	return vals, out, r
 }

@@ -201,7 +201,9 @@ func TestCallDeadlineExceeded(t *testing.T) {
 	plane := faults.NewPlane(faults.Mix{Drop: 1, Seed: 13}, s.clock)
 	s.tr.InjectFaults(plane)
 	s.lib.EnableResilience(Resilience{CallDeadline: 100 * time.Microsecond, Seed: 3})
-	_, err := s.lib.call(&Command{API: APICuDeviceGetCount})
+	cs := s.lib.newCall(APICuDeviceGetCount)
+	defer s.lib.done(cs)
+	err := s.lib.call(cs)
 	if !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("total loss with 100µs deadline returned %v, want ErrDeadlineExceeded", err)
 	}

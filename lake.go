@@ -279,6 +279,9 @@ const (
 	NullTS = features.NullTS
 	// Netlink is the default command channel (the paper's choice, §6).
 	Netlink = boundary.Netlink
+	// Ring is the shm-resident lock-free descriptor-ring channel: the
+	// zero-allocation transport behind Config.Channel = Ring.
+	Ring = boundary.Ring
 )
 
 // VecAddKernel returns the demonstration vector-add device kernel.

@@ -32,6 +32,8 @@ import (
 	"lakego/internal/linnos"
 	"lakego/internal/nn"
 	"lakego/internal/shm"
+	"lakego/internal/storage"
+	"lakego/internal/trace"
 )
 
 // serveTelemetry mounts the runtime's observability endpoints on the
@@ -87,12 +89,100 @@ func serveTelemetry(rt *lake.Runtime, addr string) {
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(b)
 	})
+	http.HandleFunc("/models.json", func(w http.ResponseWriter, req *http.Request) {
+		type versionJSON struct {
+			Seq     uint64 `json:"seq"`
+			Hash    string `json:"hash"`
+			Note    string `json:"note"`
+			Samples int    `json:"samples"`
+			Parent  uint64 `json:"parent,omitempty"`
+			Serving bool   `json:"serving,omitempty"`
+		}
+		type modelJSON struct {
+			Stats    lake.ModelStats `json:"stats"`
+			Versions []versionJSON   `json:"versions"`
+		}
+		out := map[string]modelJSON{}
+		for _, m := range rt.ModelLifecycles() {
+			serving := m.Serving()
+			mj := modelJSON{Stats: m.Stats()}
+			for _, v := range m.Registry().Versions() {
+				mj.Versions = append(mj.Versions, versionJSON{
+					Seq: v.Seq, Hash: fmt.Sprintf("%016x", v.Hash),
+					Note: v.Meta.Note, Samples: v.Meta.Samples,
+					Parent: v.Meta.ParentSeq, Serving: v == serving,
+				})
+			}
+			out[serving.Meta.Model] = mj
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	})
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Fatalf("telemetry endpoint: %v", err)
 		}
 	}()
-	log.Printf("telemetry on http://%s/metrics (.json, /spans.json, /flightrec.{dump,json}, /debug/pprof)", addr)
+	log.Printf("telemetry on http://%s/metrics (.json, /spans.json, /flightrec.{dump,json}, /models.json, /debug/pprof)", addr)
+}
+
+// runLifecycleDemo is the -online-train path: boot the LinnOS latency
+// classifier on an untrained base model, stream labeled I/O outcomes from
+// a profiled trace through the lifecycle feedback channel, and let the
+// in-daemon trainer retrain, shadow-score and hot-swap versions while the
+// predictor keeps serving. Prints the registry at the end; with
+// -telemetry-addr the registry is also live on /models.json.
+func runLifecycleDemo(rt *lake.Runtime, cfg lake.ModelLifecycleConfig, samples int) {
+	base := nn.New(3, linnos.Base.Sizes()...)
+	pred, err := linnos.NewPredictor(rt, linnos.Base, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := rt.NewLifecycle(cfg, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Attach(pred.SwapNet); err != nil {
+		log.Fatal(err)
+	}
+
+	reqs := trace.Profiles()[0].Rerate(3).Generate(42, samples)
+	labeled, threshold := linnos.CollectSamples(storage.DefaultConfig("demo", 1), reqs)
+	for _, s := range labeled {
+		slow, _ := pred.InferCPU([][]float32{s.X})
+		o := lake.ModelOutcome{X: s.X, Predicted: b2i(slow[0]), Label: b2i(s.Slow)}
+		mgr.Observe(o)
+		mgr.Pump() // in-process demo: service the trainer inline
+	}
+
+	st := mgr.Stats()
+	fmt.Println("online model lifecycle (linnos, trace-fed):")
+	fmt.Printf("  slow threshold       %v\n", threshold)
+	fmt.Printf("  feedback samples     %d (dropped %d)\n", st.SamplesSeen, st.Dropped)
+	fmt.Printf("  retrain steps        %d\n", st.RetrainSteps)
+	fmt.Printf("  versions registered  %d, serving seq %d (hash %016x)\n", st.Versions, st.ServingSeq, st.ServingHash)
+	fmt.Printf("  swaps %d, demotions %d, drift alarms %d, fallback %v\n", st.Swaps, st.Demotions, st.DriftAlarms, st.Fallback)
+	fmt.Printf("  drift baseline %.3f (current partial window %.3f)\n", st.Baseline, st.LiveAccuracy)
+	for _, v := range mgr.Registry().Versions() {
+		mark := " "
+		if v == mgr.Serving() {
+			mark = "*"
+		}
+		fmt.Printf("  %s v%d %016x %-15s samples=%d parent=%d\n",
+			mark, v.Seq, v.Hash, v.Meta.Note, v.Meta.Samples, v.Meta.ParentSeq)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // serveFleetTelemetry mounts the fleet's merged observability endpoints —
@@ -235,6 +325,12 @@ func main() {
 	poolPolicy := flag.String("pool-policy", "contention-aware", "context placement policy: round-robin, least-outstanding, contention-aware")
 	shards := flag.Int("shards", 1, "number of lakeD shards; >1 boots a fleet behind the client-side router")
 	routerPolicy := flag.String("router-policy", "consistent-hash", "fleet shard placement policy: round-robin, least-outstanding, contention-aware, consistent-hash")
+	onlineTrain := flag.Bool("online-train", false, "run the online model-lifecycle demo: in-daemon LinnOS retraining with shadow-scored hot-swaps (see /models.json)")
+	trainSamples := flag.Int("train-samples", 4000, "trace I/Os to stream through the lifecycle feedback channel (with -online-train)")
+	retrainMinibatch := flag.Int("retrain-minibatch", 64, "online SGD minibatch size (with -online-train)")
+	retrainRound := flag.Int("retrain-round", 256, "feedback samples per retrain round before shadow scoring (with -online-train)")
+	driftWindow := flag.Int("drift-window", 256, "outcomes per drift evaluation window (with -online-train)")
+	driftTolerance := flag.Float64("drift-tolerance", 0.10, "live-accuracy drop below baseline marking a window bad (with -online-train)")
 	flag.Parse()
 
 	cfg := lake.DefaultConfig()
@@ -273,6 +369,21 @@ func main() {
 	defer rt.Close()
 	if *telemetryAddr != "" {
 		serveTelemetry(rt, *telemetryAddr)
+	}
+	if *onlineTrain {
+		lcfg := lake.DefaultLifecycleConfig("linnos-NN")
+		lcfg.Minibatch = *retrainMinibatch
+		lcfg.RoundSamples = *retrainRound
+		lcfg.DriftWindow = *driftWindow
+		lcfg.DriftTolerance = *driftTolerance
+		runLifecycleDemo(rt, lcfg, *trainSamples)
+		if *serve && *telemetryAddr != "" {
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt)
+			fmt.Println("serving telemetry; ctrl-c to exit")
+			<-sig
+		}
+		return
 	}
 	rt.RegisterKernel(lake.VecAddKernel())
 

@@ -141,6 +141,19 @@ type ModelConfig struct {
 	// Forward computes one item's output. nil means timing-only (zero
 	// outputs).
 	Forward func(x []float32) []float32
+	// ForwardProvider, when non-nil, is resolved once per flush to obtain
+	// the forward function, overriding Forward — the model-lifecycle
+	// hot-swap hook. Per-flush resolution keeps every flushed batch on a
+	// single model version.
+	ForwardProvider func() func(x []float32) []float32
+}
+
+// forward resolves the per-flush forward function (nil = timing-only).
+func (mc ModelConfig) forward() func(x []float32) []float32 {
+	if mc.ForwardProvider != nil {
+		return mc.ForwardProvider()
+	}
+	return mc.Forward
 }
 
 // Stats is a snapshot of batcher activity.
@@ -382,7 +395,8 @@ func (m *model) kernelBody(dev *gpu.Device, args []uint64) error {
 	if n <= 0 || n > m.mc.MaxBatch {
 		return fmt.Errorf("%s: batch %d out of range", m.mc.Name, n)
 	}
-	if m.mc.Forward == nil {
+	fwd := m.mc.forward()
+	if fwd == nil {
 		return nil // timing-only model
 	}
 	inMem, err := dev.Bytes(gpu.DevPtr(args[0]))
@@ -399,7 +413,7 @@ func (m *model) kernelBody(dev *gpu.Device, args []uint64) error {
 	}
 	out := make([]float32, 0, n*m.mc.OutputWidth)
 	for i := 0; i < n; i++ {
-		y := m.mc.Forward(flat[i*m.mc.InputWidth : (i+1)*m.mc.InputWidth])
+		y := fwd(flat[i*m.mc.InputWidth : (i+1)*m.mc.InputWidth])
 		if len(y) != m.mc.OutputWidth {
 			return fmt.Errorf("%s: forward returned %d outputs, want %d",
 				m.mc.Name, len(y), m.mc.OutputWidth)

@@ -253,6 +253,7 @@ func (b *Batcher) execute(m *model, batch []*Pending, reason flushReason) {
 // passes written straight into each request's output slice. The calibrated
 // kernel-space cost is charged by the caller.
 func (m *model) runCPU(batch []*Pending) error {
+	fwd := m.mc.forward() // resolved once: the whole flush runs one model version
 	for _, p := range batch {
 		flat, err := cuda.Float32s(p.inBuf.Bytes(), p.count*m.mc.InputWidth)
 		if err != nil {
@@ -260,11 +261,11 @@ func (m *model) runCPU(batch []*Pending) error {
 		}
 		out := make([]float32, 0, p.count*m.mc.OutputWidth)
 		for i := 0; i < p.count; i++ {
-			if m.mc.Forward == nil {
+			if fwd == nil {
 				out = append(out, make([]float32, m.mc.OutputWidth)...)
 				continue
 			}
-			out = append(out, m.mc.Forward(flat[i*m.mc.InputWidth:(i+1)*m.mc.InputWidth])...)
+			out = append(out, fwd(flat[i*m.mc.InputWidth:(i+1)*m.mc.InputWidth])...)
 		}
 		if err := cuda.PutFloat32s(p.outBuf.Bytes(), out); err != nil {
 			return err

@@ -13,7 +13,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"lakego/internal/batcher"
@@ -24,6 +26,8 @@ import (
 	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
+	"lakego/internal/lifecycle"
+	"lakego/internal/nn"
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
 	"lakego/internal/shm"
@@ -146,6 +150,9 @@ type Runtime struct {
 	sup       *Supervisor
 	tel       *telemetry.Registry
 	rec       *flightrec.Recorder
+
+	modelsMu sync.Mutex
+	models   map[string]*lifecycle.Manager
 }
 
 // New boots a runtime: creates the device, maps the shared region into both
@@ -418,6 +425,68 @@ func (r *Runtime) NewAdaptivePolicy(cfg policy.AdaptiveConfig) *policy.Adaptive 
 		)
 	}
 	return p
+}
+
+// NewLifecycle boots the online model-lifecycle manager for one model on
+// this runtime: a versioned registry seeded with base, the in-daemon
+// online trainer, and the drift detector, wired into the runtime's flight
+// recorder (lifecycle domain) and telemetry (model="..."-labeled swap /
+// retrain / drift series plus the serving-version gauge). Attach the
+// predictor's SwapNet and feed Observe from the completion path.
+func (r *Runtime) NewLifecycle(cfg lifecycle.Config, base *nn.Network) (*lifecycle.Manager, error) {
+	m, err := lifecycle.NewManager(r.clock, cfg, base)
+	if err != nil {
+		return nil, err
+	}
+	m.SetFlightRecorder(r.rec)
+	if r.tel != nil {
+		lbl := `model="` + cfg.Model + `"`
+		name := func(family string) string { return metricName(r.shardLbl, family, lbl) }
+		m.SetTelemetry(lifecycle.Telemetry{
+			Registrations:   r.tel.Counter(name("lake_model_registrations_total"), "Model versions added to the registry."),
+			Swaps:           r.tel.Counter(name("lake_model_swaps_total"), "Serving-slot flips (promotions, demotions, rollbacks)."),
+			RetrainSteps:    r.tel.Counter(name("lake_model_retrain_steps_total"), "Online SGD minibatch steps run in lakeD."),
+			RetrainSamples:  r.tel.Counter(name("lake_model_retrain_samples_total"), "Feedback samples consumed by online retraining."),
+			DriftAlarms:     r.tel.Counter(name("lake_model_drift_alarms_total"), "Drift windows whose live accuracy fell below the pinned baseline."),
+			Demotions:       r.tel.Counter(name("lake_model_demotions_total"), "Drift-driven rollbacks to the previous serving version."),
+			FallbackEnters:  r.tel.Counter(name("lake_model_fallback_total"), "Times the model went unhealthy and routing fell back to the CPU/heuristic path."),
+			FeedbackDropped: r.tel.Counter(name("lake_model_feedback_dropped_total"), "Outcomes dropped by the bounded feedback channel."),
+			ServingVersion:  r.tel.Gauge(name("lake_model_serving_version"), "Sequence number of the serving model version."),
+			ShadowAccuracy:  r.tel.Gauge(name("lake_model_shadow_accuracy_permille"), "Candidate accuracy over the last shadow window (per-mille)."),
+		})
+	}
+	r.modelsMu.Lock()
+	if r.models == nil {
+		r.models = make(map[string]*lifecycle.Manager)
+	}
+	r.models[cfg.Model] = m
+	r.modelsMu.Unlock()
+	return m, nil
+}
+
+// ModelLifecycle returns the lifecycle manager registered for a model
+// label, or nil.
+func (r *Runtime) ModelLifecycle(model string) *lifecycle.Manager {
+	r.modelsMu.Lock()
+	defer r.modelsMu.Unlock()
+	return r.models[model]
+}
+
+// ModelLifecycles lists every lifecycle manager on this runtime in label
+// order.
+func (r *Runtime) ModelLifecycles() []*lifecycle.Manager {
+	r.modelsMu.Lock()
+	defer r.modelsMu.Unlock()
+	labels := make([]string, 0, len(r.models))
+	for l := range r.models {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]*lifecycle.Manager, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, r.models[l])
+	}
+	return out
 }
 
 // NewBatcher creates the lakeD cross-client inference batching subsystem

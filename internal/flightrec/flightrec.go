@@ -38,11 +38,13 @@ const (
 	DomainGPU                      // device model, CUDA API, device pool
 	DomainSupervisor               // daemon health state machine
 	DomainRouter                   // fleet client-side routing and migration
+	DomainLifecycle                // model registry: swaps, retraining, drift
 	numDomains
 )
 
 var domainNames = [numDomains]string{
 	"kernel", "boundary", "daemon", "batcher", "gpu", "supervisor", "router",
+	"lifecycle",
 }
 
 func (d Domain) String() string {
@@ -57,36 +59,42 @@ func (d Domain) String() string {
 type Kind uint16
 
 const (
-	EvNone         Kind = iota
-	EvCallStart         // kernel: remoted call begins; a0=API id
-	EvMarshal           // kernel: command marshaled; a0=wall ns spent
-	EvRetry             // kernel: retransmission; a0=attempt number
-	EvChannel           // kernel: boundary round trip charged; a0=virtual ns, a1=bytes
-	EvDemux             // kernel: response matched to call; a0=wall ns spent
-	EvCallEnd           // kernel: remoted call done; a0=API id, a1=Result code
-	EvFrameSend         // boundary: frame enqueued; a0=bytes, a1=direction (0 to user, 1 to kernel)
-	EvFrameRecv         // boundary: frame dequeued; a0=bytes, a1=direction
-	EvQueueFull         // boundary: frame lost to a full channel queue; a1=direction
-	EvDispatch          // daemon: command decoded; a0=API id
-	EvJournalHit        // daemon: redelivered command answered from the journal
-	EvExecStart         // daemon: command execution begins; a0=API id
-	EvExecEnd           // daemon: command execution done; a0=API id, a1=Result code
-	EvRespond           // daemon: response frame sent; a0=API id
-	EvCrash             // daemon: armed crash fired; a0=crash point
-	EvRestart           // daemon: daemon restarted; a0=new generation
-	EvEnqueue           // batcher: request queued; a0=item count
-	EvFlushStart        // batcher: flush begins; a0=batched requests, a1=reason (0 full, 1 deadline, 2 linger)
-	EvFlushMember       // batcher/daemon: member request rode a flush; a0=flush trace ID
-	EvFlushEnd          // batcher: flush done; a0=batched requests, a1=1 if GPU path, 0 if CPU fallback
-	EvPlace             // gpu: pool placement decision; a0=policy, a1=1 for a flush placement
-	EvLaunch            // gpu: kernel launch requested; a0=function handle, a1=arg count
-	EvExec              // gpu: device executed work; a0=virtual ns of work, a1=virtual ns queued behind the device
-	EvCopy              // gpu: transfer charged; a0=bytes, a1=virtual ns
-	EvTransition        // supervisor: state change; a0=from, a1=to
-	EvRoute             // router: call placed on a shard; a0=policy, a1=1 for a migration re-route, a2=wall ns spent deciding
-	EvMigrateStart      // router: shard migration begins; a0=source shard, a1=destination shard
-	EvMigrateEnd        // router: shard migration done; a0=source shard, a1=destination shard, a2=journal entries moved
-	EvDoorbell          // boundary: ring-transport doorbell rung on an empty→nonempty transition; a0=bytes, a1=direction
+	EvNone          Kind = iota
+	EvCallStart          // kernel: remoted call begins; a0=API id
+	EvMarshal            // kernel: command marshaled; a0=wall ns spent
+	EvRetry              // kernel: retransmission; a0=attempt number
+	EvChannel            // kernel: boundary round trip charged; a0=virtual ns, a1=bytes
+	EvDemux              // kernel: response matched to call; a0=wall ns spent
+	EvCallEnd            // kernel: remoted call done; a0=API id, a1=Result code
+	EvFrameSend          // boundary: frame enqueued; a0=bytes, a1=direction (0 to user, 1 to kernel)
+	EvFrameRecv          // boundary: frame dequeued; a0=bytes, a1=direction
+	EvQueueFull          // boundary: frame lost to a full channel queue; a1=direction
+	EvDispatch           // daemon: command decoded; a0=API id
+	EvJournalHit         // daemon: redelivered command answered from the journal
+	EvExecStart          // daemon: command execution begins; a0=API id
+	EvExecEnd            // daemon: command execution done; a0=API id, a1=Result code
+	EvRespond            // daemon: response frame sent; a0=API id
+	EvCrash              // daemon: armed crash fired; a0=crash point
+	EvRestart            // daemon: daemon restarted; a0=new generation
+	EvEnqueue            // batcher: request queued; a0=item count
+	EvFlushStart         // batcher: flush begins; a0=batched requests, a1=reason (0 full, 1 deadline, 2 linger)
+	EvFlushMember        // batcher/daemon: member request rode a flush; a0=flush trace ID
+	EvFlushEnd           // batcher: flush done; a0=batched requests, a1=1 if GPU path, 0 if CPU fallback
+	EvPlace              // gpu: pool placement decision; a0=policy, a1=1 for a flush placement
+	EvLaunch             // gpu: kernel launch requested; a0=function handle, a1=arg count
+	EvExec               // gpu: device executed work; a0=virtual ns of work, a1=virtual ns queued behind the device
+	EvCopy               // gpu: transfer charged; a0=bytes, a1=virtual ns
+	EvTransition         // supervisor: state change; a0=from, a1=to
+	EvRoute              // router: call placed on a shard; a0=policy, a1=1 for a migration re-route, a2=wall ns spent deciding
+	EvMigrateStart       // router: shard migration begins; a0=source shard, a1=destination shard
+	EvMigrateEnd         // router: shard migration done; a0=source shard, a1=destination shard, a2=journal entries moved
+	EvDoorbell           // boundary: ring-transport doorbell rung on an empty→nonempty transition; a0=bytes, a1=direction
+	EvModelRegister      // lifecycle: version added to the registry; a0=version seq, a1=content hash (low 64)
+	EvModelSwap          // lifecycle: serving slot flipped; a0=new version seq, a1=old version seq, a2=reason (0 promote, 1 demote, 2 rollback)
+	EvRetrainStep        // lifecycle: one online SGD step; a0=samples consumed, a1=loss milli-units
+	EvShadowScore        // lifecycle: A-B shadow comparison; a0=candidate hits, a1=serving hits, a2=window size
+	EvDriftAlarm         // lifecycle: drift detector fired; a0=accuracy per-mille, a1=baseline per-mille, a2=consecutive bad windows
+	EvFallback           // lifecycle: model marked unhealthy, *Auto routing on heuristic path; a0=1 entering fallback, 0 leaving
 	numKinds
 )
 
@@ -99,6 +107,7 @@ var kindNames = [numKinds]string{
 	"transition",
 	"route", "migrate_start", "migrate_end",
 	"doorbell",
+	"model_register", "model_swap", "retrain_step", "shadow_score", "drift_alarm", "fallback",
 }
 
 func (k Kind) String() string {
@@ -173,8 +182,18 @@ type FrameInfo struct {
 type FramePeeker func(frame []byte) (FrameInfo, bool)
 
 // DefaultRingSize is the per-domain ring capacity when the config does not
-// say otherwise: 4096 events × 64 bytes × 7 domains = 1.75 MiB resident.
+// say otherwise: 4096 events × 64 bytes × 8 domains = 2 MiB resident.
 const DefaultRingSize = 4096
+
+// wallRefreshEvery is how many emissions share one cached wall-clock read.
+// Emit used to call time.Now() per event, which dominated wall time on the
+// ring transport (~65% CPU in profiles); the recorder now refreshes a single
+// atomic word once per this many events. Event wall stamps are therefore
+// coarse — laketrace stitching orders and partitions on the virtual
+// timestamps, and dump headers re-read the real clock, so only the per-event
+// display resolution degrades. (A var only so the benchmark can measure the
+// per-event-refresh cost it replaced.)
+var wallRefreshEvery uint64 = 64
 
 // Recorder owns one ring per domain plus the trace-ID allocator. All
 // methods are safe on a nil *Recorder and safe for concurrent use; Emit on
@@ -193,6 +212,16 @@ type Recorder struct {
 	execTID atomic.Uint64 // trace ID of the command this shard's lakeD is executing now
 	peek    atomic.Value  // FramePeeker
 	rings   [numDomains]*ring
+
+	// Coarse wall clock: one cached unix-ns word shared by all emitters,
+	// refreshed every wallRefreshEvery events (see the const for why).
+	wallCoarse atomic.Int64
+	wallSeq    atomic.Uint64
+
+	// Per-domain sampling period: 0/1 records every event, n keeps every
+	// nth. sampleSeq counts each domain's offered events.
+	sampleEvery [numDomains]atomic.Uint32
+	sampleSeq   [numDomains]atomic.Uint64
 
 	shard uint16    // ordinal stamped on events emitted through this view
 	root  *Recorder // non-nil on shard views; shared ring/dump/ID state lives there
@@ -284,14 +313,56 @@ func (r *Recorder) SetFramePeeker(p FramePeeker) {
 	}
 }
 
+// SetSampleEvery arms sampled emission for one domain: every nth offered
+// event is recorded, the rest are counted (they surface in the dump's
+// dropped tally so a sampled ring never looks falsely complete). n <= 1
+// restores full recording. Sampling a domain whose events laketrace
+// stitches into call chains (kernel, daemon, boundary) trades chain
+// completeness for overhead; the high-rate GPU and batcher domains are the
+// intended targets. No-op on nil.
+func (r *Recorder) SetSampleEvery(d Domain, n uint32) {
+	if r == nil || int(d) >= int(numDomains) {
+		return
+	}
+	if n <= 1 {
+		n = 0
+	}
+	r.base().sampleEvery[d].Store(n)
+}
+
+// coarseWall returns the cached wall clock, refreshing it from the real
+// clock once per wallRefreshEvery emissions.
+func (r *Recorder) coarseWall() int64 {
+	// The 1%... form keeps refresh=1 (the benchmark's per-event emulation)
+	// refreshing on every emission.
+	if r.wallSeq.Add(1)%wallRefreshEvery == 1%wallRefreshEvery {
+		now := time.Now().UnixNano()
+		r.wallCoarse.Store(now)
+		return now
+	}
+	if w := r.wallCoarse.Load(); w != 0 {
+		return w
+	}
+	now := time.Now().UnixNano() // first events of a quiet recorder
+	r.wallCoarse.Store(now)
+	return now
+}
+
 // Emit records one event. device is the GPU ordinal (pass 0 elsewhere).
 func (r *Recorder) Emit(d Domain, k Kind, traceID, seq uint64, device int, a0, a1, a2 uint64) {
 	if !r.Enabled() {
 		return
 	}
+	b := r.base()
+	if n := b.sampleEvery[d].Load(); n > 1 {
+		if b.sampleSeq[d].Add(1)%uint64(n) != 1 {
+			b.rings[d].sampledOut.Add(1)
+			return
+		}
+	}
 	e := Event{
 		VTime:   r.clock.Now(),
-		Wall:    time.Now().UnixNano(),
+		Wall:    b.coarseWall(),
 		TraceID: traceID,
 		Seq:     seq,
 		Domain:  d,
@@ -302,7 +373,7 @@ func (r *Recorder) Emit(d Domain, k Kind, traceID, seq uint64, device int, a0, a
 		Arg1:    a1,
 		Arg2:    a2,
 	}
-	r.base().rings[d].put(e.pack())
+	b.rings[d].put(e.pack())
 }
 
 // EmitFrame records a boundary-domain event for a wire frame, tagging it
@@ -374,6 +445,7 @@ func (r *Recorder) Snapshot(reason string) *Dump {
 		VNow:    r.clock.Now(),
 		WallNow: time.Now().UnixNano(),
 	}
+	r.wallCoarse.Store(d.WallNow) // dumps re-anchor the coarse event clock
 	for dom := Domain(0); dom < numDomains; dom++ {
 		raw, dropped := r.rings[dom].snapshot()
 		dd := DomainDump{Domain: dom, Name: dom.String(), Dropped: dropped}

@@ -17,8 +17,10 @@ func (c *Classifier) EnableBatching(b *batcher.Batcher) error {
 		InputWidth: InputWidth, OutputWidth: len(patternNames),
 		MaxBatch: MaxBatch,
 		CPUFixed: cpuFixed, CPUPerItem: cpuPerItem,
-		FlopsPerItem: c.net.Flops(),
-		Forward:      c.net.Forward,
+		// Same-shape SwapNet keeps the FLOP count stable; the provider
+		// resolves the serving version once per flush.
+		FlopsPerItem:    c.Net().Flops(),
+		ForwardProvider: func() func([]float32) []float32 { return c.Net().Forward },
 	})
 }
 

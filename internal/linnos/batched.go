@@ -26,10 +26,12 @@ func (p *Predictor) EnableBatching(b *batcher.Batcher) error {
 	return b.RegisterModel(batcher.ModelConfig{
 		Name:       p.BatchModelName(),
 		InputWidth: InputWidth, OutputWidth: 2,
-		MaxBatch:     MaxBatch,
-		CPUPerItem:   p.kind.CPUInferCost(),
-		FlopsPerItem: p.net.Flops(),
-		Forward:      p.net.Forward,
+		MaxBatch:   MaxBatch,
+		CPUPerItem: p.kind.CPUInferCost(),
+		// Same-shape SwapNet keeps the FLOP count stable; the provider
+		// resolves the serving version once per flush.
+		FlopsPerItem:    p.Net().Flops(),
+		ForwardProvider: func() func([]float32) []float32 { return p.Net().Forward },
 	})
 }
 

@@ -3,6 +3,7 @@ package linnos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lakego/internal/core"
@@ -85,7 +86,12 @@ const MaxBatch = 1024
 type Predictor struct {
 	rt   *core.Runtime
 	kind ModelKind
-	net  *nn.Network
+	// net is the serving network behind an atomic pointer: the model
+	// lifecycle hot-swaps versions with SwapNet while inferences are in
+	// flight. Every inference path loads the pointer exactly once per
+	// batch, so a batch always completes on a single version — swaps never
+	// drop or mix predictions.
+	net atomic.Pointer[nn.Network]
 
 	ctx, fn uint64
 	devIn   gpu.DevPtr
@@ -110,24 +116,21 @@ func kernelName(k ModelKind) string { return fmt.Sprintf("linnos_%s", k) }
 // NewPredictor builds a predictor for the trained network net (layer sizes
 // must match kind) on runtime rt.
 func NewPredictor(rt *core.Runtime, kind ModelKind, net *nn.Network) (*Predictor, error) {
-	want := kind.Sizes()
-	got := net.Sizes()
-	if len(got) != len(want) {
-		return nil, fmt.Errorf("linnos: network has %d layers, %s needs %d", len(got)-1, kind, len(want)-1)
+	if err := checkSizes(kind, net); err != nil {
+		return nil, err
 	}
-	for i := range want {
-		if got[i] != want[i] {
-			return nil, fmt.Errorf("linnos: network sizes %v, %s needs %v", got, kind, want)
-		}
-	}
-	p := &Predictor{rt: rt, kind: kind, net: net}
+	p := &Predictor{rt: rt, kind: kind}
+	p.net.Store(net)
 	if tel := rt.Telemetry(); tel != nil {
 		p.gpuLat = tel.Histogram(telemetry.MetricGPUItemLatency, "Observed per-item GPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets())
 		p.cpuLat = tel.Histogram(telemetry.MetricCPUItemLatency, "Observed per-item CPU-path latency (virtual ns).", telemetry.DefaultLatencyBuckets())
 	}
+	// SwapNet only admits same-shape networks, so the FLOP count captured
+	// here stays correct across hot-swaps.
+	flops := net.Flops()
 	rt.RegisterKernel(&cuda.Kernel{
 		Name:  kernelName(kind),
-		Flops: func(args []uint64) float64 { return float64(args[2]) * net.Flops() },
+		Flops: func(args []uint64) float64 { return float64(args[2]) * flops },
 		Body:  p.kernelBody,
 	})
 	lib := rt.Lib()
@@ -163,11 +166,42 @@ func NewPredictor(rt *core.Runtime, kind ModelKind, net *nn.Network) (*Predictor
 	return p, nil
 }
 
+// checkSizes validates a network against the variant's layer shape.
+func checkSizes(kind ModelKind, net *nn.Network) error {
+	want := kind.Sizes()
+	got := net.Sizes()
+	if len(got) != len(want) {
+		return fmt.Errorf("linnos: network has %d layers, %s needs %d", len(got)-1, kind, len(want)-1)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("linnos: network sizes %v, %s needs %v", got, kind, want)
+		}
+	}
+	return nil
+}
+
 // Kind returns the model variant.
 func (p *Predictor) Kind() ModelKind { return p.kind }
 
-// Net returns the underlying network (used by training and tests).
-func (p *Predictor) Net() *nn.Network { return p.net }
+// Net returns the serving network (used by training and tests).
+func (p *Predictor) Net() *nn.Network { return p.net.Load() }
+
+// SwapNet atomically replaces the serving network — the lifecycle
+// manager's hot-swap hook. The new network must match the predictor's
+// variant shape. Batches already in flight finish on the network they
+// loaded; new batches see the replacement.
+func (p *Predictor) SwapNet(net *nn.Network) error {
+	// Fast path: the serving net already satisfies the variant shape, so
+	// matching it is equivalent to checkSizes without the allocations.
+	if !nn.SameShape(p.net.Load(), net) {
+		if err := checkSizes(p.kind, net); err != nil {
+			return err
+		}
+	}
+	p.net.Store(net)
+	return nil
+}
 
 // kernelBody is the device-side inference kernel: real forward passes over
 // the staged batch. Args: [inPtr, outPtr, batch].
@@ -191,9 +225,10 @@ func (p *Predictor) kernelBody(dev *gpu.Device, args []uint64) error {
 	if err != nil {
 		return err
 	}
+	net := p.net.Load() // one load per batch: a concurrent swap cannot mix versions mid-batch
 	out := make([]float32, 0, batch*2)
 	for i := 0; i < batch; i++ {
-		logits := p.net.Forward(flat[i*InputWidth : (i+1)*InputWidth])
+		logits := net.Forward(flat[i*InputWidth : (i+1)*InputWidth])
 		out = append(out, logits...)
 	}
 	return cuda.PutFloat32s(outMem, out)
@@ -202,9 +237,10 @@ func (p *Predictor) kernelBody(dev *gpu.Device, args []uint64) error {
 // InferCPU classifies the batch on the kernel's CPU path: real forward
 // passes, with the modeled kernel-space cost charged per inference.
 func (p *Predictor) InferCPU(batch [][]float32) ([]bool, time.Duration) {
+	net := p.net.Load() // one load per batch: swaps never mix versions mid-batch
 	slow := make([]bool, len(batch))
 	for i, x := range batch {
-		logits := p.net.Forward(x)
+		logits := net.Forward(x)
 		slow[i] = logits[1] > logits[0]
 	}
 	cost := time.Duration(len(batch)) * p.kind.CPUInferCost()

@@ -84,6 +84,20 @@ func (n *Network) Sizes() []int {
 	return s
 }
 
+// SameShape reports whether two networks have identical layer geometry.
+// Allocation-free, so hot-swap validation can run it on every flip.
+func SameShape(a, b *Network) bool {
+	if len(a.Layers) != len(b.Layers) || a.InputSize() != b.InputSize() {
+		return false
+	}
+	for i := range a.Layers {
+		if a.Layers[i].Out != b.Layers[i].Out {
+			return false
+		}
+	}
+	return true
+}
+
 // Flops returns the multiply-accumulate FLOP count of one forward pass
 // (2 FLOPs per weight), the quantity the GPU model converts to time.
 func (n *Network) Flops() float64 {
@@ -132,9 +146,14 @@ func (n *Network) ForwardBatch(xs [][]float32) [][]float32 {
 	return out
 }
 
-// Predict returns the argmax class for x.
+// Predict returns the argmax class for x, or 0 when the output layer is
+// empty — lifecycle shadow scoring calls this on registry-loaded models, so
+// a degenerate network must degrade to class 0 instead of panicking.
 func (n *Network) Predict(x []float32) int {
 	logits := n.Forward(x)
+	if len(logits) == 0 {
+		return 0
+	}
 	best := 0
 	for i, v := range logits {
 		if v > logits[best] {
@@ -144,74 +163,137 @@ func (n *Network) Predict(x []float32) int {
 	return best
 }
 
-// Softmax converts logits to probabilities (numerically stabilized).
+// Softmax converts logits to probabilities (numerically stabilized). Empty
+// input yields an empty distribution rather than a panic.
 func Softmax(logits []float32) []float32 {
+	out := make([]float32, len(logits))
+	softmaxInto(out, logits)
+	return out
+}
+
+// softmaxInto is the allocation-free Softmax used by the training scratch;
+// dst must be len(logits).
+func softmaxInto(dst, logits []float32) {
+	if len(logits) == 0 {
+		return
+	}
 	maxv := logits[0]
 	for _, v := range logits {
 		if v > maxv {
 			maxv = v
 		}
 	}
-	out := make([]float32, len(logits))
 	var sum float32
 	for i, v := range logits {
 		e := float32(math.Exp(float64(v - maxv)))
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst[:len(logits)] {
+		dst[i] /= sum
 	}
-	return out
+}
+
+// Scratch holds every buffer one TrainBatch step needs — gradient
+// accumulators, retained activations, the softmax distribution and the
+// per-layer backprop deltas — so an online trainer can run SGD steps
+// indefinitely without per-step garbage. A Scratch is shaped for one
+// network architecture and is reusable across steps (each step zeroes the
+// accumulators itself); it is not safe for concurrent use.
+type Scratch struct {
+	sizes  []int
+	gW, gB [][]float32
+	acts   [][]float32 // acts[i+1] is layer i's retained output
+	probs  []float32
+	deltas [][]float32 // deltas[i] is the gradient w.r.t. layer i's output
+}
+
+// NewScratch allocates training scratch shaped for n's architecture.
+func NewScratch(n *Network) *Scratch {
+	nl := len(n.Layers)
+	s := &Scratch{
+		sizes:  n.Sizes(),
+		gW:     make([][]float32, nl),
+		gB:     make([][]float32, nl),
+		acts:   make([][]float32, nl+1),
+		deltas: make([][]float32, nl),
+	}
+	for i, l := range n.Layers {
+		s.gW[i] = make([]float32, len(l.W))
+		s.gB[i] = make([]float32, len(l.B))
+		s.acts[i+1] = make([]float32, l.Out)
+		s.deltas[i] = make([]float32, l.Out)
+	}
+	s.probs = make([]float32, n.OutputSize())
+	return s
+}
+
+// fits reports whether the scratch matches n's architecture. Allocation
+// free: it runs on every online training step.
+func (s *Scratch) fits(n *Network) bool {
+	if len(s.sizes) != len(n.Layers)+1 {
+		return false
+	}
+	for i, l := range n.Layers {
+		if s.sizes[i] != l.In || s.sizes[i+1] != l.Out {
+			return false
+		}
+	}
+	return true
 }
 
 // TrainBatch performs one SGD step on a batch with integer class labels,
 // minimizing softmax cross-entropy, and returns the mean loss.
 func (n *Network) TrainBatch(xs [][]float32, labels []int, lr float32) (float32, error) {
+	return n.TrainBatchScratch(NewScratch(n), xs, labels, lr)
+}
+
+// TrainBatchScratch is TrainBatch on caller-owned scratch: identical
+// arithmetic (bit-for-bit — the lifecycle determinism test pins this), zero
+// per-step allocation. The scratch must come from NewScratch on a network
+// of the same architecture.
+func (n *Network) TrainBatchScratch(s *Scratch, xs [][]float32, labels []int, lr float32) (float32, error) {
 	if len(xs) != len(labels) {
 		return 0, fmt.Errorf("nn: %d inputs but %d labels", len(xs), len(labels))
 	}
 	if len(xs) == 0 {
 		return 0, nil
 	}
+	if !s.fits(n) {
+		return 0, fmt.Errorf("nn: scratch shaped %v, network is %v", s.sizes, n.Sizes())
+	}
 	nl := len(n.Layers)
-	// Accumulated gradients.
-	gW := make([][]float32, nl)
-	gB := make([][]float32, nl)
-	for i, l := range n.Layers {
-		gW[i] = make([]float32, len(l.W))
-		gB[i] = make([]float32, len(l.B))
+	for i := range n.Layers {
+		clear(s.gW[i])
+		clear(s.gB[i])
 	}
 	var loss float64
-	acts := make([][]float32, nl+1)
-	for s, x := range xs {
-		label := labels[s]
+	for smp, x := range xs {
+		label := labels[smp]
 		if label < 0 || label >= n.OutputSize() {
 			return 0, fmt.Errorf("nn: label %d out of range [0,%d)", label, n.OutputSize())
 		}
 		// Forward, retaining activations.
-		acts[0] = x
+		s.acts[0] = x
 		for i, l := range n.Layers {
-			out := make([]float32, l.Out)
-			l.forward(acts[i], out)
-			acts[i+1] = out
+			l.forward(s.acts[i], s.acts[i+1])
 		}
-		probs := Softmax(acts[nl])
-		p := float64(probs[label])
+		softmaxInto(s.probs, s.acts[nl])
+		p := float64(s.probs[label])
 		if p < 1e-12 {
 			p = 1e-12
 		}
 		loss += -math.Log(p)
 		// Backward: output delta = probs - onehot.
-		delta := make([]float32, len(probs))
-		copy(delta, probs)
+		delta := s.deltas[nl-1]
+		copy(delta, s.probs)
 		delta[label] -= 1
 		for i := nl - 1; i >= 0; i-- {
 			l := n.Layers[i]
-			in := acts[i]
+			in := s.acts[i]
 			// ReLU derivative gates delta by the layer's own output.
 			if l.Act == ReLU {
-				out := acts[i+1]
+				out := s.acts[i+1]
 				for o := range delta {
 					if out[o] <= 0 {
 						delta[o] = 0
@@ -223,14 +305,15 @@ func (n *Network) TrainBatch(xs [][]float32, labels []int, lr float32) (float32,
 				if d == 0 {
 					continue
 				}
-				gB[i][o] += d
-				row := gW[i][o*l.In : (o+1)*l.In]
+				s.gB[i][o] += d
+				row := s.gW[i][o*l.In : (o+1)*l.In]
 				for j, xv := range in {
 					row[j] += d * xv
 				}
 			}
 			if i > 0 {
-				prev := make([]float32, l.In)
+				prev := s.deltas[i-1]
+				clear(prev)
 				for o := 0; o < l.Out; o++ {
 					d := delta[o]
 					if d == 0 {
@@ -245,17 +328,33 @@ func (n *Network) TrainBatch(xs [][]float32, labels []int, lr float32) (float32,
 			}
 		}
 	}
+	s.acts[0] = nil // don't retain the caller's last sample
 	// Apply averaged gradients.
 	scale := lr / float32(len(xs))
 	for i, l := range n.Layers {
 		for j := range l.W {
-			l.W[j] -= scale * gW[i][j]
+			l.W[j] -= scale * s.gW[i][j]
 		}
 		for j := range l.B {
-			l.B[j] -= scale * gB[i][j]
+			l.B[j] -= scale * s.gB[i][j]
 		}
 	}
 	return float32(loss / float64(len(xs))), nil
+}
+
+// Clone returns a deep copy of the network. The model registry snapshots
+// versions with it: a registered version must stay immutable while the
+// trainer keeps mutating its working copy.
+func (n *Network) Clone() *Network {
+	c := &Network{Layers: make([]*Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		c.Layers[i] = &Layer{
+			In: l.In, Out: l.Out, Act: l.Act,
+			W: append([]float32(nil), l.W...),
+			B: append([]float32(nil), l.B...),
+		}
+	}
+	return c
 }
 
 // Accuracy evaluates classification accuracy over a labeled set.
@@ -323,10 +422,16 @@ func Unmarshal(blob []byte) (*Network, error) {
 		if in <= 0 || out <= 0 || in > 1<<20 || out > 1<<20 || act > ReLU {
 			return nil, ErrBadModel
 		}
-		l := &Layer{In: in, Out: out, Act: act, W: make([]float32, in*out), B: make([]float32, out)}
-		if !need(4 * (len(l.W) + len(l.B))) {
+		// Bounds-check the declared shape against the bytes actually present
+		// BEFORE allocating: in and out are attacker-controlled, and a
+		// 17-byte blob declaring a 2^20 x 2^20 layer would otherwise demand a
+		// 4 TiB weight slice. int64 math keeps in*out from overflowing int on
+		// 32-bit builds.
+		elems := int64(in)*int64(out) + int64(out)
+		if int64(len(blob)-pos) < 4*elems {
 			return nil, ErrBadModel
 		}
+		l := &Layer{In: in, Out: out, Act: act, W: make([]float32, in*out), B: make([]float32, out)}
 		for j := range l.W {
 			l.W[j] = math.Float32frombits(binary.LittleEndian.Uint32(blob[pos:]))
 			pos += 4

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// bombBlob builds the 17-byte crafted blob that made the pre-fix Unmarshal
+// allocate a 4 TiB weight slice: a valid magic and layer count followed by a
+// single layer declaring 2^20 x 2^20 weights with no weight bytes present.
+func bombBlob() []byte {
+	b := binary.LittleEndian.AppendUint32(nil, marshalMagic)
+	b = binary.LittleEndian.AppendUint32(b, 1)     // one layer
+	b = binary.LittleEndian.AppendUint32(b, 1<<20) // in
+	b = binary.LittleEndian.AppendUint32(b, 1<<20) // out
+	return append(b, byte(ReLU))
+}
+
+// TestUnmarshalAllocationBomb is the regression test for the seed bug: the
+// pre-fix decoder called make([]float32, in*out) before the remaining-bytes
+// check, so this 17-byte blob demanded a 4 TiB allocation (a runtime panic
+// or OOM kill). Post-fix it is rejected before any weight allocation.
+func TestUnmarshalAllocationBomb(t *testing.T) {
+	blob := bombBlob()
+	if len(blob) != 17 {
+		t.Fatalf("crafted blob is %d bytes, want 17", len(blob))
+	}
+	if _, err := Unmarshal(blob); err == nil {
+		t.Fatal("allocation-bomb blob accepted")
+	}
+	// The shape checks must also hold per-layer deeper into a blob: a valid
+	// first layer followed by a bomb layer.
+	good := New(1, 2, 2).Marshal()
+	multi := append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(multi[4:], 2) // claim a second layer
+	multi = append(multi, bombBlob()[8:]...)    // header of the 2^20 x 2^20 layer
+	if _, err := Unmarshal(multi); err == nil {
+		t.Fatal("allocation-bomb second layer accepted")
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	if got := Softmax(nil); len(got) != 0 {
+		t.Fatalf("Softmax(nil) = %v, want empty", got)
+	}
+	if got := Softmax([]float32{}); len(got) != 0 {
+		t.Fatalf("Softmax(empty) = %v, want empty", got)
+	}
+}
+
+func TestPredictEmptyOutput(t *testing.T) {
+	// A degenerate hand-built network with an empty output layer: Predict
+	// must degrade to class 0, not index logits[0].
+	n := &Network{Layers: []*Layer{{In: 2, Out: 0, W: nil, B: nil, Act: Linear}}}
+	if got := n.Predict([]float32{1, 2}); got != 0 {
+		t.Fatalf("Predict on empty output = %d, want 0", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	n := New(5, 3, 8, 2)
+	c := n.Clone()
+	if !bytes.Equal(n.Marshal(), c.Marshal()) {
+		t.Fatal("clone is not bit-identical")
+	}
+	c.Layers[0].W[0] += 1
+	if n.Layers[0].W[0] == c.Layers[0].W[0] {
+		t.Fatal("clone shares weight storage with the original")
+	}
+}
+
+// TestTrainBatchScratchMatchesTrainBatch pins the scratch path to the
+// allocating path bit-for-bit: the lifecycle trainer runs on scratch, and a
+// numeric divergence would silently change every retrained model.
+func TestTrainBatchScratchMatchesTrainBatch(t *testing.T) {
+	a, b := New(11, 4, 8, 2), New(11, 4, 8, 2)
+	s := NewScratch(b)
+	xs := [][]float32{{1, 0, -1, 0.5}, {0, 1, 0.25, -1}, {0.5, 0.5, 0.5, 0.5}}
+	labels := []int{0, 1, 0}
+	for step := 0; step < 50; step++ {
+		la, err := a.TrainBatch(xs, labels, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := b.TrainBatchScratch(s, xs, labels, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la != lb {
+			t.Fatalf("step %d: loss %v (alloc) vs %v (scratch)", step, la, lb)
+		}
+	}
+	if !bytes.Equal(a.Marshal(), b.Marshal()) {
+		t.Fatal("scratch training diverged from allocating training")
+	}
+}
+
+func TestTrainBatchScratchShapeMismatch(t *testing.T) {
+	n := New(1, 4, 2)
+	s := NewScratch(New(1, 4, 8, 2))
+	if _, err := n.TrainBatchScratch(s, [][]float32{{1, 2, 3, 4}}, []int{0}, 0.1); err == nil {
+		t.Fatal("mismatched scratch accepted")
+	}
+}
+
+// TestTrainBatchScratchNoGarbage pins the online trainer's premise: steady
+// state SGD steps allocate nothing.
+func TestTrainBatchScratchNoGarbage(t *testing.T) {
+	n := New(3, 4, 8, 2)
+	s := NewScratch(n)
+	xs := [][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}}
+	labels := []int{0, 1}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := n.TrainBatchScratch(s, xs, labels, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TrainBatchScratch allocates %v objects/step, want 0", allocs)
+	}
+}
+
+// TestMarshalGolden pins the serialized blob format: registry-persisted
+// model versions written by older builds must keep loading, so any change
+// to the wire layout has to be a deliberate, versioned one (add a new magic,
+// keep decoding this).
+func TestMarshalGolden(t *testing.T) {
+	n := New(42, 3, 4, 2)
+	blob := n.Marshal()
+	path := filepath.Join("testdata", "marshal_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("Marshal blob format drifted from committed golden (%d vs %d bytes); "+
+			"if the change is deliberate, version the format and update the golden with -update",
+			len(blob), len(want))
+	}
+	// The golden must also round-trip through the current decoder.
+	m, err := Unmarshal(want)
+	if err != nil {
+		t.Fatalf("golden blob no longer decodes: %v", err)
+	}
+	if !bytes.Equal(m.Marshal(), want) {
+		t.Fatal("golden blob round trip is not a fixed point")
+	}
+}
+
+// FuzzNNUnmarshal is the regression fuzz target for the allocation bomb:
+// arbitrary input must never panic or demand absurd allocations, and any
+// blob that decodes must be a marshal->unmarshal fixed point.
+func FuzzNNUnmarshal(f *testing.F) {
+	f.Add(New(1, 4, 2).Marshal())
+	f.Add(New(2, 3, 4, 2).Marshal())
+	f.Add(bombBlob())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		blob := net.Marshal()
+		if !bytes.Equal(blob, data) {
+			t.Fatalf("decoded blob is not a marshal fixed point: %d in, %d out", len(data), len(blob))
+		}
+		again, err := Unmarshal(blob)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if len(again.Layers) != len(net.Layers) {
+			t.Fatal("layer count unstable")
+		}
+	})
+}

@@ -41,6 +41,19 @@ type Config struct {
 	// timing-only configurations (e.g. the large malware sweeps), in
 	// which case outputs are zero.
 	Forward func(x []float32) []float32
+	// ForwardProvider, when non-nil, is resolved once per batch to obtain
+	// the forward function, overriding Forward. It is the model-lifecycle
+	// hot-swap hook: resolving per batch (instead of reading a mutable
+	// Forward per item) guarantees a batch never mixes model versions.
+	ForwardProvider func() func(x []float32) []float32
+}
+
+// forward resolves the per-batch forward function (nil = timing-only).
+func (c Config) forward() func(x []float32) []float32 {
+	if c.ForwardProvider != nil {
+		return c.ForwardProvider()
+	}
+	return c.Forward
 }
 
 func (c Config) validate() error {
@@ -132,7 +145,8 @@ func (r *Runner) kernelBody(dev *gpu.Device, args []uint64) error {
 	if n <= 0 || n > r.cfg.MaxBatch {
 		return fmt.Errorf("%s: batch %d out of range", r.cfg.Name, n)
 	}
-	if r.cfg.Forward == nil {
+	fwd := r.cfg.forward()
+	if fwd == nil {
 		return nil // timing-only kernel
 	}
 	inMem, err := dev.Bytes(gpu.DevPtr(args[0]))
@@ -149,7 +163,7 @@ func (r *Runner) kernelBody(dev *gpu.Device, args []uint64) error {
 	}
 	out := make([]float32, 0, n*r.cfg.OutputWidth)
 	for i := 0; i < n; i++ {
-		y := r.cfg.Forward(flat[i*r.cfg.InputWidth : (i+1)*r.cfg.InputWidth])
+		y := fwd(flat[i*r.cfg.InputWidth : (i+1)*r.cfg.InputWidth])
 		if len(y) != r.cfg.OutputWidth {
 			return fmt.Errorf("%s: forward returned %d outputs, want %d",
 				r.cfg.Name, len(y), r.cfg.OutputWidth)
@@ -162,10 +176,11 @@ func (r *Runner) kernelBody(dev *gpu.Device, args []uint64) error {
 // RunCPU executes the batch on the kernel CPU path: real outputs (when
 // Forward is set) with the calibrated kernel-space cost charged.
 func (r *Runner) RunCPU(batch [][]float32) ([][]float32, time.Duration) {
+	fwd := r.cfg.forward() // resolved once: the whole batch runs one model version
 	out := make([][]float32, len(batch))
 	for i, x := range batch {
-		if r.cfg.Forward != nil {
-			out[i] = r.cfg.Forward(x)
+		if fwd != nil {
+			out[i] = fwd(x)
 		} else {
 			out[i] = make([]float32, r.cfg.OutputWidth)
 		}

@@ -36,6 +36,7 @@ import (
 	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
+	"lakego/internal/lifecycle"
 	"lakego/internal/loadgen"
 	"lakego/internal/policy"
 	"lakego/internal/remoting"
@@ -181,6 +182,35 @@ type (
 // DefaultBatcherConfig returns the batching defaults (32-item target
 // batches, 100µs max-wait flush deadline).
 func DefaultBatcherConfig() BatcherConfig { return batcher.DefaultConfig() }
+
+// Online model-lifecycle types (internal/lifecycle): a versioned registry
+// of content-hashed immutable model snapshots whose serving slot is an
+// atomic pointer flip, an in-daemon online trainer fed by a bounded
+// feedback channel of observed outcomes, and a drift detector that
+// demotes a degraded version (or falls back to the CPU/heuristic path).
+// Boot one per model with Runtime.NewLifecycle.
+type (
+	// ModelManager runs one model's lifecycle.
+	ModelManager = lifecycle.Manager
+	// ModelLifecycleConfig parameterizes Runtime.NewLifecycle.
+	ModelLifecycleConfig = lifecycle.Config
+	// ModelRegistry is the versioned snapshot store with the serving slot.
+	ModelRegistry = lifecycle.Registry
+	// ModelVersion is one immutable registered snapshot.
+	ModelVersion = lifecycle.Version
+	// ModelMeta is a version's provenance.
+	ModelMeta = lifecycle.Meta
+	// ModelOutcome is one observed ground-truth feedback record.
+	ModelOutcome = lifecycle.Outcome
+	// ModelStats snapshots lifecycle activity.
+	ModelStats = lifecycle.Stats
+)
+
+// DefaultLifecycleConfig returns the shipping lifecycle parameters for a
+// model label.
+func DefaultLifecycleConfig(model string) ModelLifecycleConfig {
+	return lifecycle.DefaultConfig(model)
+}
 
 // Flight-recorder types (internal/flightrec): every telemetry-enabled
 // runtime carries an always-on, lock-minimal flight recorder — per-domain

@@ -1,0 +1,68 @@
+// Model-lifecycle micro-benchmarks: the cost of the serving-slot flip the
+// inference hot path observes, and the per-outcome cost of the in-daemon
+// online trainer (feedback channel -> minibatch SGD on the reusable
+// gradient scratch -> shadow scoring).
+package lake_test
+
+import (
+	"testing"
+
+	"lakego/internal/core"
+	"lakego/internal/lifecycle"
+	"lakego/internal/linnos"
+	"lakego/internal/nn"
+	"lakego/internal/vtime"
+)
+
+// BenchmarkPerfModelSwap measures the hot-swap itself: shape validation
+// plus one atomic pointer store. This is the entire cost an in-flight
+// inference path can ever contend with — batches load the pointer once,
+// so a swap is never observed mid-batch.
+func BenchmarkPerfModelSwap(b *testing.B) {
+	rt, err := core.New(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	a := nn.New(1, linnos.Base.Sizes()...)
+	c := a.Clone()
+	pred, err := linnos.NewPredictor(rt, linnos.Base, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := [2]*nn.Network{a, c}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pred.SwapNet(nets[i&1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfRetrainStep measures the amortized per-outcome cost of the
+// online trainer: bounded-channel handoff, drift window accounting,
+// shadow ring insert, and (every Minibatch outcomes) one SGD step on the
+// reusable scratch.
+func BenchmarkPerfRetrainStep(b *testing.B) {
+	cfg := lifecycle.DefaultConfig("bench")
+	cfg.Buffer = 256
+	m, err := lifecycle.NewManager(vtime.New(), cfg, nn.New(1, 2, 8, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	outs := [2]lifecycle.Outcome{
+		{X: []float32{-1, -1}, Predicted: 0, Label: 0},
+		{X: []float32{1, 1}, Predicted: 0, Label: 1},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(outs[i&1])
+		m.Pump()
+	}
+	b.StopTimer()
+	if m.Dropped() != 0 {
+		b.Fatalf("dropped %d", m.Dropped())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"lakego/internal/core"
 	"lakego/internal/cuda"
 	"lakego/internal/gpu"
+	"lakego/internal/healthplane"
 	"lakego/internal/remoting"
 )
 
@@ -60,6 +61,38 @@ func TestAllocsRingRemotedCall(t *testing.T) {
 	})
 	if n != 0 {
 		t.Fatalf("ring remoted call allocates %v objects/op, want 0", n)
+	}
+}
+
+// TestAllocsRingRemotedCallWithHealthPlane re-runs the headline gate with
+// the live health plane attached and actively tailing: the tailer chases
+// the recorder ring with its own cursor, so an armed plane must not add a
+// single allocation (or any other disturbance) to the Emit-side call path.
+func TestAllocsRingRemotedCallWithHealthPlane(t *testing.T) {
+	rt := newRingRuntime(t)
+	plane := rt.NewHealthPlane(healthplane.Config{})
+	lib := rt.Lib()
+	if r := lib.CuInit(); r != cuda.Success {
+		t.Fatal(r)
+	}
+	for i := 0; i < 4100; i++ { // one full journal lap, see above
+		if _, r := lib.CuDeviceGetCount(); r != cuda.Success {
+			t.Fatal(r)
+		}
+	}
+	// Drain the backlog so the tail cursor sits mid-ring, the worst case
+	// for the Emit/Tail interleave, then gate the call path.
+	plane.Poll()
+	n := testing.AllocsPerRun(1000, func() {
+		if _, r := lib.CuDeviceGetCount(); r != cuda.Success {
+			t.Fatal(r)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("ring remoted call with health plane attached allocates %v objects/op, want 0", n)
+	}
+	if snap := plane.SLO(); len(snap.Stages) == 0 {
+		t.Fatal("plane never ingested the tailed call events")
 	}
 }
 

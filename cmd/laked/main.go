@@ -8,9 +8,14 @@
 // With -telemetry-addr the daemon also serves its observability plane over
 // HTTP: /metrics (Prometheus text), /metrics.json (structured snapshot),
 // /spans.json (per-call trace timelines, populated when -trace is set),
-// /flightrec.dump and /flightrec.json (on-demand flight-recorder snapshots,
-// binary and JSON — feed either to cmd/laketrace) and /debug/pprof. With
-// -serve it stays up after the demo burst so the endpoints can be scraped.
+// /debug/pprof, and the live health plane — /healthz, /readyz, /statusz,
+// /slo.json (rolling burn-rate/percentile state), /incidents.json
+// (anomaly-triggered black-box bundles), /flightrec.tail?cursor= (live
+// non-destructive event tailing), /flightrec.dump and /flightrec.json
+// (on-demand flight-recorder snapshots, binary and JSON — feed either to
+// cmd/laketrace; ?last=1 returns the retained automatic dump) and
+// /models.json. With -serve it stays up after the demo burst so the
+// endpoints can be scraped.
 package main
 
 import (
@@ -66,69 +71,21 @@ func serveTelemetry(rt *lake.Runtime, addr string) {
 		}
 		_, _ = w.Write(b)
 	})
-	http.HandleFunc("/flightrec.dump", func(w http.ResponseWriter, req *http.Request) {
-		rec := rt.FlightRecorder()
-		if rec == nil {
-			http.Error(w, "flight recorder disabled", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		_, _ = w.Write(rec.Snapshot("http").Encode())
-	})
-	http.HandleFunc("/flightrec.json", func(w http.ResponseWriter, req *http.Request) {
-		rec := rt.FlightRecorder()
-		if rec == nil {
-			http.Error(w, "flight recorder disabled", http.StatusNotFound)
-			return
-		}
-		b, err := rec.Snapshot("http").JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(b)
-	})
-	http.HandleFunc("/models.json", func(w http.ResponseWriter, req *http.Request) {
-		type versionJSON struct {
-			Seq     uint64 `json:"seq"`
-			Hash    string `json:"hash"`
-			Note    string `json:"note"`
-			Samples int    `json:"samples"`
-			Parent  uint64 `json:"parent,omitempty"`
-			Serving bool   `json:"serving,omitempty"`
-		}
-		type modelJSON struct {
-			Stats    lake.ModelStats `json:"stats"`
-			Versions []versionJSON   `json:"versions"`
-		}
-		out := map[string]modelJSON{}
-		for _, m := range rt.ModelLifecycles() {
-			serving := m.Serving()
-			mj := modelJSON{Stats: m.Stats()}
-			for _, v := range m.Registry().Versions() {
-				mj.Versions = append(mj.Versions, versionJSON{
-					Seq: v.Seq, Hash: fmt.Sprintf("%016x", v.Hash),
-					Note: v.Meta.Note, Samples: v.Meta.Samples,
-					Parent: v.Meta.ParentSeq, Serving: v == serving,
-				})
-			}
-			out[serving.Meta.Model] = mj
-		}
-		b, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(b)
-	})
+	// The health plane serves the rest: /healthz, /readyz, /statusz,
+	// /slo.json, /incidents.json, /flightrec.tail, /flightrec.{dump,json}
+	// (on-demand snapshots; ?last=1 for the retained automatic dump) and
+	// /models.json.
+	plane := rt.NewHealthPlane(lake.HealthPlaneConfig{})
+	planeHandler := plane.Handler()
+	for _, p := range lake.HealthPlanePaths {
+		http.Handle(p, planeHandler)
+	}
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Fatalf("telemetry endpoint: %v", err)
 		}
 	}()
-	log.Printf("telemetry on http://%s/metrics (.json, /spans.json, /flightrec.{dump,json}, /models.json, /debug/pprof)", addr)
+	log.Printf("telemetry on http://%s/metrics (.json, /spans.json, /debug/pprof) + health plane (/healthz /readyz /statusz /slo.json /incidents.json /flightrec.tail /flightrec.{dump,json} /models.json)", addr)
 }
 
 // runLifecycleDemo is the -online-train path: boot the LinnOS latency
@@ -205,35 +162,20 @@ func serveFleetTelemetry(f *lake.Fleet, addr string) {
 		}
 		_, _ = w.Write(b)
 	})
-	http.HandleFunc("/flightrec.dump", func(w http.ResponseWriter, req *http.Request) {
-		rec := f.Recorder()
-		if rec == nil {
-			http.Error(w, "flight recorder disabled", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		_, _ = w.Write(rec.Snapshot("http").Encode())
-	})
-	http.HandleFunc("/flightrec.json", func(w http.ResponseWriter, req *http.Request) {
-		rec := f.Recorder()
-		if rec == nil {
-			http.Error(w, "flight recorder disabled", http.StatusNotFound)
-			return
-		}
-		b, err := rec.Snapshot("http").JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(b)
-	})
+	// Fleet health plane: per-shard /readyz, merged /slo.json, tailing of
+	// the shared shard-stamped recorder, and incident capture with the
+	// stall watchdog live (the fleet tracks per-shard outstanding work).
+	plane := f.NewHealthPlane(lake.HealthPlaneConfig{})
+	planeHandler := plane.Handler()
+	for _, p := range lake.HealthPlanePaths {
+		http.Handle(p, planeHandler)
+	}
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Fatalf("telemetry endpoint: %v", err)
 		}
 	}()
-	log.Printf("fleet telemetry on http://%s/metrics (.json, /flightrec.{dump,json}, /debug/pprof)", addr)
+	log.Printf("fleet telemetry on http://%s/metrics (.json, /debug/pprof) + health plane (/healthz /readyz /statusz /slo.json /incidents.json /flightrec.tail /flightrec.{dump,json} /models.json)", addr)
 }
 
 // runFleetDemo is the -shards > 1 path: boot a fleet of independent lakeD

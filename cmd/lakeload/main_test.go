@@ -5,11 +5,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+	"time"
+
+	"lakego/internal/loadgen"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -23,7 +27,7 @@ func TestRunSmokeDeterministic(t *testing.T) {
 	a := filepath.Join(dir, "a.json")
 	b := filepath.Join(dir, "b.json")
 	for _, path := range []string{a, b} {
-		if err := run("smoke", "1,2", path, "ci", 0, 0, false); err != nil {
+		if err := run("smoke", "1,2", path, "ci", 0, 0, false, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -87,7 +91,7 @@ func TestRunSmokeDeterministic(t *testing.T) {
 // schema change, and update BENCH_BASELINE.json to match.
 func TestResultsSchemaGolden(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "r.json")
-	if err := run("smoke", "1,2", out, "schema", 0, 0, false); err != nil {
+	if err := run("smoke", "1,2", out, "schema", 0, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -169,10 +173,10 @@ func TestScenarioFileRoundTrip(t *testing.T) {
 	}
 	a := filepath.Join(dir, "a.json")
 	b := filepath.Join(dir, "b.json")
-	if err := run("storm", "", a, "x", 0, 0, false); err != nil {
+	if err := run("storm", "", a, "x", 0, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(file, "", b, "x", 0, 0, false); err != nil {
+	if err := run(file, "", b, "x", 0, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 	da, _ := os.ReadFile(a)
@@ -192,6 +196,38 @@ func TestLoadScenarioErrors(t *testing.T) {
 	}
 	if _, err := loadScenario(bad); err == nil {
 		t.Fatal("malformed scenario file accepted")
+	}
+}
+
+// TestLiveSLOObserver drives the -live-slo path: a smoke replay with the
+// observer attached must actually scrape the health plane over HTTP and
+// record a live attainment row alongside the driver's.
+func TestLiveSLOObserver(t *testing.T) {
+	s, err := loadScenario("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := &liveSLO{budget: 5 * time.Millisecond}
+	s.Observer = agg.observer
+	if _, err := loadgen.Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.rows) != 1 {
+		t.Fatalf("expected 1 live-SLO row, got %d", len(agg.rows))
+	}
+	row := agg.rows[0]
+	if row.polls == 0 {
+		t.Fatal("observer never scraped /slo.json")
+	}
+	if math.IsNaN(row.live) {
+		t.Fatal("plane saw no call traffic during the replay")
+	}
+	if row.live <= 0 || row.live > 1 || row.driver <= 0 || row.driver > 1 {
+		t.Fatalf("attainments out of range: live=%v driver=%v", row.live, row.driver)
+	}
+	sum := agg.summary()
+	if !strings.Contains(sum, "divergence") || !strings.Contains(sum, "live_att") {
+		t.Fatalf("summary missing table headers:\n%s", sum)
 	}
 }
 

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
+	"lakego/internal/healthplane"
 	"lakego/internal/lifecycle"
 	"lakego/internal/nn"
 	"lakego/internal/policy"
@@ -34,6 +36,10 @@ import (
 	"lakego/internal/telemetry"
 	"lakego/internal/vtime"
 )
+
+// BuildVersion is stamped into lake_build_info and health-plane responses;
+// override at link time with `-ldflags "-X lakego/internal/core.BuildVersion=v..."`.
+var BuildVersion = "dev"
 
 // Config parameterizes a LAKE runtime.
 type Config struct {
@@ -235,6 +241,16 @@ func New(cfg Config) (*Runtime, error) {
 		if cfg.TraceCalls {
 			rt.tel.Tracer().SetEnabled(true)
 		}
+		boot := time.Now()
+		rt.tel.Gauge(metricName(cfg.ShardLabel, "lake_build_info",
+			`version="`+BuildVersion+`"`, `go_version="`+goruntime.Version()+`"`),
+			"Build metadata carried in labels; the value is always 1.").Set(1)
+		rt.tel.GaugeFunc(metricName(cfg.ShardLabel, "lake_uptime_vns"),
+			"Virtual nanoseconds elapsed on this runtime's clock.",
+			func() int64 { return int64(clock.Now()) })
+		rt.tel.GaugeFunc(metricName(cfg.ShardLabel, "lake_uptime_seconds"),
+			"Wall-clock seconds since the runtime booted.",
+			func() int64 { return int64(time.Since(boot) / time.Second) })
 	}
 	if !cfg.DisableTelemetry && !cfg.DisableFlightRecorder {
 		if cfg.Recorder != nil {
@@ -487,6 +503,43 @@ func (r *Runtime) ModelLifecycles() []*lifecycle.Manager {
 		out = append(out, r.models[l])
 	}
 	return out
+}
+
+// NewHealthPlane boots the live health plane over this runtime: the
+// non-destructive flight-recorder tailer, the rolling SLO burn-rate engine,
+// and anomaly-triggered black-box capture, pre-wired to the runtime's clock,
+// recorder, telemetry registry, lifecycle managers, and lakeD supervisor.
+// Serve the plane's Handler() routes (healthplane.Paths) from the host
+// process or drive Poll from its control loop. On a single runtime the
+// shard probe reports one shard whose readiness tracks the supervisor (a
+// runtime booted without faults/resilience is trivially ready); completion
+// outstanding is unknown here, so the stall watchdog only arms on fleets.
+func (r *Runtime) NewHealthPlane(cfg healthplane.Config) *healthplane.Plane {
+	if cfg.Version == "" {
+		cfg.Version = BuildVersion
+	}
+	p := healthplane.New(cfg)
+	p.SetClock(r.clock.Now)
+	p.SetRecorder(r.rec)
+	if r.tel != nil {
+		p.SetTelemetrySource(r.tel.Snapshot)
+	}
+	p.SetModelSource(r.ModelLifecycles)
+	p.SetShardProbe(func() []healthplane.ShardHealth {
+		sh := healthplane.ShardHealth{
+			Ordinal: 0,
+			State:   "Healthy",
+			Ready:   true,
+			Handled: r.daemon.Handled(),
+		}
+		if r.sup != nil {
+			st := r.sup.State()
+			sh.State = st.String()
+			sh.Ready = st == StateHealthy || st == StateReAttached
+		}
+		return []healthplane.ShardHealth{sh}
+	})
+	return p
 }
 
 // NewBatcher creates the lakeD cross-client inference batching subsystem

@@ -160,8 +160,9 @@ type Manager struct {
 	dropped  atomic.Uint64
 	healthy  atomic.Bool
 
-	mu    sync.Mutex
-	apply func(*nn.Network) error
+	mu         sync.Mutex
+	apply      func(*nn.Network) error
+	demoteHook func(model string, healthy bool)
 
 	// Online trainer state (all under mu).
 	candidate *nn.Network
@@ -249,6 +250,21 @@ func (m *Manager) Attach(apply func(*nn.Network) error) error {
 
 // Registry exposes the version registry.
 func (m *Manager) Registry() *Registry { return m.reg }
+
+// Model returns the model family label this manager governs.
+func (m *Manager) Model() string { return m.cfg.Model }
+
+// SetDemotionHook installs a callback fired after every drift demotion and
+// on the transition into heuristic fallback, with the model label and
+// whether the model path is still healthy. The hook runs synchronously on
+// the processing goroutine with the manager mutex held: it must be cheap
+// and must not call back into the manager (Stats would deadlock) — set a
+// flag, ping a channel. The health plane uses it as a poll-soon signal.
+func (m *Manager) SetDemotionHook(f func(model string, healthy bool)) {
+	m.mu.Lock()
+	m.demoteHook = f
+	m.mu.Unlock()
+}
 
 // Serving returns the serving version.
 func (m *Manager) Serving() *Version { return m.reg.Serving() }
@@ -469,11 +485,17 @@ func (m *Manager) demote() {
 			m.tel.FallbackEnters.Inc()
 			m.rec.Emit(flightrec.DomainLifecycle, flightrec.EvFallback,
 				0, m.evSeq.Add(1), 0, 1, 0, 0)
+			if m.demoteHook != nil {
+				m.demoteHook(m.cfg.Model, false)
+			}
 		}
 		return
 	}
 	m.demotions.Add(1)
 	m.tel.Demotions.Inc()
+	if m.demoteHook != nil {
+		m.demoteHook(m.cfg.Model, true)
+	}
 	m.applySwap(v, old, ReasonDemote)
 	// Resync the trainer onto the reinstated weights. The baseline is
 	// deliberately NOT re-pinned: the reinstated version is held to the

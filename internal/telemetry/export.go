@@ -32,6 +32,9 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Windows holds the settled (previous-tick) window of each
+	// WindowedHistogram — per-window counts, not cumulative-since-start.
+	Windows map[string]HistogramSnapshot `json:"windows,omitempty"`
 }
 
 // Snapshot captures every registered instrument (zero-value for nil).
@@ -55,6 +58,13 @@ func (r *Registry) Snapshot() Snapshot {
 			snap.Gauges[name] = m.Value()
 		case *Histogram:
 			snap.Histograms[name] = snapshotHistogram(m)
+		case *WindowedHistogram:
+			if snap.Windows == nil {
+				snap.Windows = map[string]HistogramSnapshot{}
+			}
+			snap.Windows[name] = snapshotWindow(m)
+		case *GaugeFunc:
+			snap.Gauges[name] = m.Value()
 		}
 	}
 	return snap
@@ -113,6 +123,10 @@ func writePrometheus(w io.Writer, names []string, metrics map[string]interface{}
 			fmt.Fprintf(&b, "%s%s %d\n", family, labels, m.Value())
 		case *Histogram:
 			writePromHistogram(&b, family, labels, m)
+		case *WindowedHistogram:
+			writePromWindow(&b, family, labels, m)
+		case *GaugeFunc:
+			fmt.Fprintf(&b, "%s%s %d\n", family, labels, m.Value())
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -161,6 +175,13 @@ func MergedSnapshot(regs ...*Registry) Snapshot {
 			snap.Gauges[name] = m.Value()
 		case *Histogram:
 			snap.Histograms[name] = snapshotHistogram(m)
+		case *WindowedHistogram:
+			if snap.Windows == nil {
+				snap.Windows = map[string]HistogramSnapshot{}
+			}
+			snap.Windows[name] = snapshotWindow(m)
+		case *GaugeFunc:
+			snap.Gauges[name] = m.Value()
 		}
 	}
 	return snap
@@ -195,10 +216,14 @@ func promType(m interface{}) string {
 	switch m.(type) {
 	case *Counter:
 		return "counter"
-	case *Gauge:
+	case *Gauge, *GaugeFunc:
 		return "gauge"
 	case *Histogram:
 		return "histogram"
+	case *WindowedHistogram:
+		// Per-window (non-cumulative across scrapes) bucket counts are
+		// Prometheus's gaugehistogram.
+		return "gaugehistogram"
 	}
 	return "untyped"
 }
@@ -213,6 +238,19 @@ func writePromHistogram(b *strings.Builder, family, labels string, h *Histogram)
 	fmt.Fprintf(b, "%s_bucket%s %d\n", family, mergeLabels(labels, `le="+Inf"`), cum[len(cum)-1])
 	fmt.Fprintf(b, "%s_sum%s %d\n", family, labels, h.Sum())
 	fmt.Fprintf(b, "%s_count%s %d\n", family, labels, h.Count())
+}
+
+// writePromWindow emits the settled window of a windowed histogram in
+// bucket form (gaugehistogram: counts reset per window, not cumulative
+// across scrapes).
+func writePromWindow(b *strings.Builder, family, labels string, w *WindowedHistogram) {
+	bounds, cum := w.SettledBuckets()
+	for i, bound := range bounds {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", family, mergeLabels(labels, fmt.Sprintf(`le="%d"`, bound)), cum[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", family, mergeLabels(labels, `le="+Inf"`), cum[len(cum)-1])
+	fmt.Fprintf(b, "%s_sum%s %d\n", family, labels, w.SettledSum())
+	fmt.Fprintf(b, "%s_count%s %d\n", family, labels, w.SettledCount())
 }
 
 // mergeLabels combines an existing `{a="b"}` label part with one more pair.

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// WindowedHistogram is a pair of fixed-bucket histograms behind an epoch
+// switch: writers observe into the active side while readers consume the
+// settled side — the complete previous window. Roll() clears the settled
+// side and flips the epoch, so each window's counts are isolated instead of
+// cumulative-since-start; the health plane rolls one per virtual-time tick
+// to build rolling 1s/30s/5m burn-rate windows.
+//
+// Observe is allocation-free and identical in cost to Histogram.Observe
+// plus one extra atomic load (the epoch). Roll is not synchronized with
+// writers: an observer that loaded the epoch just before a flip lands its
+// observation in the side that just settled, where it is either read by the
+// next consumer or cleared by the next Roll — one observation of jitter per
+// flip at worst, the standard monitoring trade-off.
+//
+// A nil WindowedHistogram is a no-op. Construct with NewWindowedHistogram.
+type WindowedHistogram struct {
+	bounds []int64
+	epoch  atomic.Uint32 // index (0/1) of the active side
+	sides  [2]windowSide
+}
+
+type windowSide struct {
+	counts []atomic.Int64 // len(bounds)+1, +Inf last
+	total  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewWindowedHistogram creates a windowed histogram with the given
+// ascending bucket upper bounds (DefaultLatencyBuckets when empty).
+func NewWindowedHistogram(bounds []int64) *WindowedHistogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	w := &WindowedHistogram{bounds: b}
+	for i := range w.sides {
+		w.sides[i].counts = make([]atomic.Int64, len(b)+1)
+	}
+	return w
+}
+
+// Observe records one value into the active window.
+func (w *WindowedHistogram) Observe(v int64) {
+	if w == nil {
+		return
+	}
+	s := &w.sides[w.epoch.Load()&1]
+	i := 0
+	for i < len(w.bounds) && v > w.bounds[i] {
+		i++
+	}
+	s.counts[i].Add(1)
+	s.total.Add(1)
+	s.sum.Add(v)
+}
+
+// ObserveDuration records a virtual duration in nanoseconds.
+func (w *WindowedHistogram) ObserveDuration(d time.Duration) { w.Observe(int64(d)) }
+
+// Roll closes the active window: the previously settled side is cleared,
+// the epoch flips, and what was active becomes the settled window readers
+// see. Call once per window tick. No-op on nil.
+func (w *WindowedHistogram) Roll() {
+	if w == nil {
+		return
+	}
+	next := (w.epoch.Load() + 1) & 1
+	s := &w.sides[next]
+	for i := range s.counts {
+		s.counts[i].Store(0)
+	}
+	s.total.Store(0)
+	s.sum.Store(0)
+	w.epoch.Store(next)
+}
+
+// settled returns the side readers should consume.
+func (w *WindowedHistogram) settled() *windowSide {
+	return &w.sides[(w.epoch.Load()+1)&1]
+}
+
+// SettledCount returns the observation count of the settled window.
+func (w *WindowedHistogram) SettledCount() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.settled().total.Load()
+}
+
+// SettledSum returns the value sum of the settled window.
+func (w *WindowedHistogram) SettledSum() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.settled().sum.Load()
+}
+
+// SettledQuantile estimates the q-quantile of the settled window with the
+// same bucket-upper-bound semantics as Histogram.Quantile.
+func (w *WindowedHistogram) SettledQuantile(q float64) int64 {
+	if w == nil {
+		return 0
+	}
+	s := w.settled()
+	counts := make([]int64, len(s.counts))
+	for i := range s.counts {
+		counts[i] = s.counts[i].Load()
+	}
+	return quantileFromBuckets(w.bounds, counts, q)
+}
+
+// SettledBuckets snapshots the settled window's cumulative bucket counts,
+// one per finite bound plus the +Inf bucket.
+func (w *WindowedHistogram) SettledBuckets() (bounds []int64, cumulative []int64) {
+	s := w.settled()
+	bounds = w.bounds
+	cumulative = make([]int64, len(s.counts))
+	var cum int64
+	for i := range s.counts {
+		cum += s.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return bounds, cumulative
+}
+
+// quantileFromBuckets is the bucket-quantile estimate shared by Histogram
+// and the windowed/engine readers: the upper bound of the bucket holding
+// rank ceil(q*n), saturating overflow to the last finite bound. 0 with no
+// observations or no bounds.
+func quantileFromBuckets(bounds []int64, counts []int64, q float64) int64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Shave the float-error epsilon before rounding up, as Histogram does.
+	target := int64(math.Ceil(q*float64(n) - 1e-9))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return bounds[len(bounds)-1]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// snapshotWindow exports the settled window in the histogram snapshot shape.
+func snapshotWindow(w *WindowedHistogram) HistogramSnapshot {
+	bounds, cum := w.SettledBuckets()
+	n := w.SettledCount()
+	hs := HistogramSnapshot{
+		Count: n,
+		Sum:   w.SettledSum(),
+		P50:   w.SettledQuantile(0.50),
+		P99:   w.SettledQuantile(0.99),
+	}
+	if n > 0 {
+		hs.Mean = float64(hs.Sum) / float64(n)
+	}
+	for i, b := range bounds {
+		hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: fmt.Sprintf("%d", b), Cumulative: cum[i]})
+	}
+	hs.Buckets = append(hs.Buckets, BucketSnapshot{LE: "+Inf", Cumulative: cum[len(cum)-1]})
+	return hs
+}
+
+// GaugeFunc is a gauge whose value is computed at read time by a callback —
+// uptime clocks, derived sizes. The callback must be safe for concurrent
+// use and cheap; it runs on every snapshot and exposition. A nil GaugeFunc
+// (or nil callback) reads 0.
+type GaugeFunc struct {
+	f func() int64
+}
+
+// Value invokes the callback (0 for nil).
+func (g *GaugeFunc) Value() int64 {
+	if g == nil || g.f == nil {
+		return 0
+	}
+	return g.f()
+}
+
+// WindowedHistogram get-or-creates a windowed histogram (nil for a nil
+// registry). Bounds are only consulted on first creation. The exposition
+// shows the settled window.
+func (r *Registry) WindowedHistogram(name, help string, bounds []int64) *WindowedHistogram {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, func() interface{} { return NewWindowedHistogram(bounds) })
+	w, ok := m.(*WindowedHistogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+	}
+	return w
+}
+
+// GaugeFunc get-or-creates a callback gauge (nil for a nil registry). The
+// callback is only installed on first creation.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) *GaugeFunc {
+	if r == nil {
+		return nil
+	}
+	m := r.register(name, help, func() interface{} { return &GaugeFunc{f: f} })
+	g, ok := m.(*GaugeFunc)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+	}
+	return g
+}

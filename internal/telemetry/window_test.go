@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowedHistogramEpochSwap(t *testing.T) {
+	w := NewWindowedHistogram([]int64{10, 100, 1000})
+	w.Observe(5)
+	w.Observe(50)
+	w.Observe(5000)
+
+	// Nothing settled before the first roll.
+	if got := w.SettledCount(); got != 0 {
+		t.Fatalf("settled count before roll = %d, want 0", got)
+	}
+	w.Roll()
+	if got := w.SettledCount(); got != 3 {
+		t.Fatalf("settled count = %d, want 3", got)
+	}
+	if got := w.SettledSum(); got != 5055 {
+		t.Fatalf("settled sum = %d, want 5055", got)
+	}
+	if got := w.SettledQuantile(0.50); got != 100 {
+		t.Fatalf("settled p50 = %d, want bucket bound 100", got)
+	}
+	// Overflow saturates to the last finite bound.
+	if got := w.SettledQuantile(0.999); got != 1000 {
+		t.Fatalf("settled p999 = %d, want 1000", got)
+	}
+
+	// Observations after the flip land in the new active window.
+	w.Observe(7)
+	if got := w.SettledCount(); got != 3 {
+		t.Fatalf("settled count perturbed by active observe: %d", got)
+	}
+	w.Roll()
+	if got := w.SettledCount(); got != 1 {
+		t.Fatalf("second settled count = %d, want 1", got)
+	}
+	// A third roll clears the first window entirely: windows never leak.
+	w.Roll()
+	if got := w.SettledCount(); got != 0 {
+		t.Fatalf("third settled count = %d, want 0", got)
+	}
+}
+
+func TestWindowedHistogramNil(t *testing.T) {
+	var w *WindowedHistogram
+	w.Observe(1)
+	w.Roll()
+	if w.SettledCount() != 0 || w.SettledSum() != 0 || w.SettledQuantile(0.5) != 0 {
+		t.Fatal("nil WindowedHistogram must read zero")
+	}
+}
+
+func TestWindowedHistogramConcurrentObserve(t *testing.T) {
+	w := NewWindowedHistogram(DefaultLatencyBuckets())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					w.Observe(12345)
+				}
+			}
+		}()
+	}
+	total := int64(0)
+	for i := 0; i < 2000 && total == 0; i++ {
+		time.Sleep(100 * time.Microsecond)
+		w.Roll()
+		total += w.SettledCount()
+	}
+	close(stop)
+	wg.Wait()
+	if total == 0 {
+		t.Fatal("no observations landed across 2000 rolls")
+	}
+}
+
+func TestRegistryWindowedAndGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	w := r.WindowedHistogram("lake_win_ns", "windowed", []int64{10, 100})
+	if same := r.WindowedHistogram("lake_win_ns", "windowed", nil); same != w {
+		t.Fatal("WindowedHistogram is not get-or-create")
+	}
+	g := r.GaugeFunc("lake_up", "derived", func() int64 { return 42 })
+	if g.Value() != 42 {
+		t.Fatalf("GaugeFunc value = %d, want 42", g.Value())
+	}
+
+	w.Observe(50)
+	w.Roll()
+	snap := r.Snapshot()
+	if snap.Gauges["lake_up"] != 42 {
+		t.Fatalf("snapshot gauge = %d, want 42", snap.Gauges["lake_up"])
+	}
+	ws, ok := snap.Windows["lake_win_ns"]
+	if !ok || ws.Count != 1 || ws.P50 != 100 {
+		t.Fatalf("snapshot window = %+v, ok=%v", ws, ok)
+	}
+
+	merged := MergedSnapshot(r, NewRegistry())
+	if merged.Windows["lake_win_ns"].Count != 1 || merged.Gauges["lake_up"] != 42 {
+		t.Fatalf("merged snapshot missing windowed/gaugefunc series: %+v", merged)
+	}
+
+	text := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE lake_win_ns gaugehistogram",
+		`lake_win_ns_bucket{le="100"} 1`,
+		"lake_win_ns_count 1",
+		"# TYPE lake_up gauge",
+		"lake_up 42",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"lakego/internal/flightrec"
 	"lakego/internal/gpu"
 	"lakego/internal/gpupool"
+	"lakego/internal/healthplane"
 	"lakego/internal/lifecycle"
 	"lakego/internal/loadgen"
 	"lakego/internal/policy"
@@ -236,6 +237,42 @@ type (
 // ReadFlightDump parses a flight-recorder dump from either its binary or
 // JSON encoding.
 func ReadFlightDump(data []byte) (*FlightDump, error) { return flightrec.ReadDump(data) }
+
+// Live health plane types (internal/healthplane): a read-side surface that
+// tails the flight recorder without disturbing the zero-allocation emit
+// path, rolls tailed events plus telemetry-histogram deltas into
+// multi-window per-stage latency percentiles and SRE-style error-budget
+// burn rates, and captures anomaly-triggered black-box incident bundles
+// (flight dump + telemetry snapshot + model registry state). Boot one with
+// Runtime.NewHealthPlane or Fleet.NewHealthPlane and serve
+// HealthPlane.Handler() on the routes in HealthPlanePaths — laked does.
+type (
+	// HealthPlane is the live health surface for a runtime or fleet.
+	HealthPlane = healthplane.Plane
+	// HealthPlaneConfig tunes tick granularity, burn-rate windows and
+	// thresholds, objectives, and the incident-ring bound.
+	HealthPlaneConfig = healthplane.Config
+	// SLOObjective is one latency objective the burn engine tracks.
+	SLOObjective = healthplane.Objective
+	// SLOSnapshot is the /slo.json payload.
+	SLOSnapshot = healthplane.SLOSnapshot
+	// Incident is one anomaly-triggered black-box capture.
+	Incident = healthplane.Incident
+	// ShardHealth is one shard's liveness as /readyz reports it.
+	ShardHealth = healthplane.ShardHealth
+	// TailCursor is an opaque flight-recorder tail position; the zero
+	// value starts from the oldest retained events.
+	TailCursor = flightrec.TailCursor
+)
+
+// HealthPlanePaths lists the HTTP routes HealthPlane.Handler serves.
+var HealthPlanePaths = healthplane.Paths
+
+// DefaultSLOObjectives returns the default call/boundary objectives.
+func DefaultSLOObjectives() []SLOObjective { return healthplane.DefaultObjectives() }
+
+// ParseTailCursor parses a cursor string a previous tail returned.
+func ParseTailCursor(s string) (TailCursor, error) { return flightrec.ParseTailCursor(s) }
 
 // StitchFlightDump rebuilds per-call cross-domain timelines from a dump.
 func StitchFlightDump(d *FlightDump) *FlightStitch { return flightrec.Stitch(d) }

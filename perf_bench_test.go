@@ -10,11 +10,14 @@ import (
 	"lakego/internal/bestfit"
 	"lakego/internal/core"
 	"lakego/internal/features"
+	"lakego/internal/flightrec"
 	"lakego/internal/linnos"
 	"lakego/internal/lockfree"
 	"lakego/internal/nn"
 	"lakego/internal/remoting"
 	"lakego/internal/ringbuf"
+	"lakego/internal/telemetry"
+	"lakego/internal/vtime"
 )
 
 func BenchmarkPerfBestFitAllocFree(b *testing.B) {
@@ -138,6 +141,44 @@ func BenchmarkPerfRemotedCall(b *testing.B) {
 // the TestAllocs gates.
 func BenchmarkPerfRemotedCallRing(b *testing.B) {
 	benchRemotedCall(b, ringConfig())
+}
+
+// BenchmarkPerfTailDrain measures the health plane's ingestion substrate:
+// emit a batch of events into the flight-recorder ring, then drain them
+// non-destructively with TailInto over a reused buffer. The reported time
+// covers one emit + one tailed read per op; 0 allocs/op is the bar the
+// TestTailRaceStorm/alloc gates pin.
+func BenchmarkPerfTailDrain(b *testing.B) {
+	rec := flightrec.New(vtime.New(), 1<<12)
+	const batch = 64
+	buf := make([]flightrec.Event, batch)
+	var cur flightrec.TailCursor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := 0; j < batch; j++ {
+			rec.Emit(flightrec.DomainKernel, flightrec.EvChannel,
+				uint64(i+j), uint64(j), 0, 1500, 96, 0)
+		}
+		for {
+			n, next, _ := rec.TailInto(cur, buf)
+			cur = next
+			if n < len(buf) {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkPerfWindowedObserve measures the SLO engine's other feed: one
+// observation into a telemetry windowed histogram (current-epoch bucket
+// increment behind an atomic epoch pointer).
+func BenchmarkPerfWindowedObserve(b *testing.B) {
+	w := telemetry.NewWindowedHistogram(telemetry.DefaultLatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Observe(int64(1000 + i%100_000))
+	}
 }
 
 // BenchmarkPerfRingDescriptor measures the raw descriptor ring: one
